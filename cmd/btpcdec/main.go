@@ -1,0 +1,66 @@
+// Command btpcdec decompresses a BTPC stream back to a binary PGM image.
+//
+// Usage:
+//
+//	btpcdec [-o out.pgm] input.btpc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/btpc"
+	"repro/internal/img"
+)
+
+func main() {
+	out := flag.String("o", "", "output PGM file (default: input with .pgm suffix, stdout if reading stdin)")
+	levels := flag.Int("levels", 0, "progressive decode: stop this many pyramid levels early (0 = full quality)")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	outName := *out
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(flag.Arg(0))
+		if outName == "" {
+			outName = flag.Arg(0) + ".pgm"
+		}
+	default:
+		err = fmt.Errorf("expected at most one input file, got %d", flag.NArg())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var g *img.Gray
+	if *levels > 0 {
+		g, err = btpc.DecodeProgressive(data, *levels, nil)
+	} else {
+		g, err = btpc.Decode(data, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	pgm := g.EncodePGM()
+	if outName == "" {
+		if _, err := os.Stdout.Write(pgm); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(outName, pgm, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%dx%d)\n", outName, g.W, g.H)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btpcdec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command btpcenc compresses a binary PGM (P5) image with the BTPC coder.
+//
+// Usage:
+//
+//	btpcenc [-q quant] [-o out.btpc] [-stats] input.pgm
+//
+// With no input file a synthetic test image is encoded (useful for a quick
+// smoke test: btpcenc -stats).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/btpc"
+	"repro/internal/img"
+)
+
+func main() {
+	quant := flag.Int("q", 1, "quantization step (1 = lossless)")
+	out := flag.String("o", "", "output file (default: input with .btpc suffix, or stdout for synthetic input)")
+	stats := flag.Bool("stats", false, "print rate statistics to stderr")
+	synth := flag.Int("synth", 512, "synthetic image size when no input file is given")
+	flag.Parse()
+
+	var src *img.Gray
+	var outName string
+	switch flag.NArg() {
+	case 0:
+		src = img.Synthetic(*synth, *synth, 1)
+		outName = *out
+	case 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, err = img.DecodePGM(data)
+		if err != nil {
+			fatal(err)
+		}
+		outName = *out
+		if outName == "" {
+			outName = flag.Arg(0) + ".btpc"
+		}
+	default:
+		fatal(fmt.Errorf("expected at most one input file, got %d", flag.NArg()))
+	}
+
+	data, st, err := btpc.Encode(src, btpc.Params{Quant: *quant}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%dx%d, %d levels, %d top pixels, %d bytes (%.3f bpp), %d escapes\n",
+			st.W, st.H, st.TopLevel, st.TopPixels, len(data), st.BitsPerPixel(), st.Escapes)
+		for ctx, n := range st.SymbolsPerCtx {
+			fmt.Fprintf(os.Stderr, "  context %d: %d symbols\n", ctx, n)
+		}
+	}
+	if outName == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(outName, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", outName, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btpcenc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command dtse runs the full system-level design exploration of the paper
+// on the BTPC demonstrator and prints the regenerated tables and figures.
+//
+// Usage:
+//
+//	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
+//
+// Without -table/-figure, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	size := flag.Int("size", 1024, "image side length (the paper's constraint is 1024)")
+	seed := flag.Uint64("seed", 1, "synthetic image seed")
+	quant := flag.Int("quant", 1, "BTPC quantizer (1 = lossless)")
+	table := flag.Int("table", 0, "print only this table (1-4)")
+	figure := flag.Int("figure", 0, "print only this figure (1-3)")
+	verbose := flag.Bool("v", false, "print the profile and the final organization details")
+	ablations := flag.Bool("ablations", false, "also run the modeling-decision ablations")
+	inplaceF := flag.Bool("inplace", false, "also print the in-place mapping (lifetime) analysis")
+	flag.Parse()
+
+	start := time.Now()
+	res, err := core.RunAll(core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant},
+		core.DefaultEvalParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtse:", err)
+		os.Exit(1)
+	}
+
+	all := *table == 0 && *figure == 0
+	if all || *figure == 1 {
+		fmt.Println("Figure 1: Stepwise refinement methodology (explored tree)")
+		fmt.Println(res.Figure1())
+	}
+	if all || *figure == 2 {
+		fmt.Println("Figure 2: Basic group (a) compaction and (b) merging")
+		fmt.Println(res.Figure2())
+	}
+	if all || *table == 1 {
+		fmt.Println(res.Table1().Render())
+	}
+	if all || *figure == 3 {
+		fmt.Println("Figure 3:", res.HierPlan.Describe())
+		fmt.Println(res.Figure3())
+	}
+	if all || *table == 2 {
+		fmt.Println(res.Table2().Render())
+	}
+	if all || *table == 3 {
+		fmt.Println(res.Table3().Render())
+	}
+	if all || *table == 4 {
+		fmt.Println(res.Table4().Render())
+	}
+	if all {
+		fmt.Printf("MACP: unit %d cycles, duration-weighted %d cycles, budget %d (feasible: %v)\n",
+			res.MACP.UnitMACP, res.MACP.WeightedMACP, res.MACP.CycleBudget, res.MACP.Feasible)
+		fmt.Printf("Decisions: %s -> %s -> extra %d cycles -> %s\n",
+			res.StructChoice.Label, res.HierChoice.Label, res.BudgetChoice.Extra, res.AllocChoice.Label)
+	}
+	if *verbose {
+		fmt.Println("\nProfiled access counts:")
+		fmt.Println(res.Demo.Rec.Report())
+		fmt.Println("Final memory organization:")
+		for _, b := range res.Final.Asgn.OnChip {
+			fmt.Printf("  %-8s %8d x %2d bit, %d-port, %7.2f mm², %7.2f mW: %v\n",
+				b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Area, b.Power, b.Groups)
+		}
+		for _, b := range res.Final.Asgn.OffChip {
+			fmt.Printf("  %-20s %8d x %2d bit, %d-port, %7.2f mW: %v\n",
+				b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Power, b.Groups)
+		}
+	}
+	if *inplaceF {
+		fmt.Println("\nIn-place mapping analysis (lifetimes of the pruned spec):")
+		fmt.Println(core.InPlaceReport(res.Demo.Spec))
+	}
+	if *ablations {
+		ep := core.DefaultEvalParams().ScaleTo(*size)
+		fmt.Println("\nAblations (modeling decisions, see DESIGN.md):")
+		printAbl := func(a *core.AblationResult) {
+			fmt.Printf("  %-38s", a.Name+":")
+			if a.WithoutErr != nil {
+				fmt.Printf(" with %7.1f mW; without: pipeline fails (%v)\n",
+					a.With.Cost.TotalPower(), a.WithoutErr)
+				return
+			}
+			fmt.Printf(" with %7.1f mW / %6.1f mm², without %7.1f mW / %6.1f mm²  (%s)\n",
+				a.With.Cost.TotalPower(), a.With.Cost.OnChipArea,
+				a.Without.Cost.TotalPower(), a.Without.Cost.OnChipArea, a.Note)
+		}
+		printAbl(core.AblationBranchExclusivity(res.Demo, ep))
+		printAbl(core.AblationStructuralCost(res.Demo, ep))
+		if a, err := core.AblationGreedyAssignment(res.Demo, ep, 8); err == nil {
+			printAbl(a)
+		}
+		if a, err := core.AblationInPlace(res.Demo, ep); err == nil {
+			printAbl(a)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,82 @@
+// Command memprof prints the profiled memory-access counts of the BTPC
+// encoder — the §4.1 basic-group analysis view the designer uses to find
+// the dominant arrays — plus the reuse-distance summary of the image array.
+//
+// Usage:
+//
+//	memprof [-size 1024] [-seed 1] [-quant 1] [-scopes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/btpc"
+	"repro/internal/img"
+	"repro/internal/reuse"
+	"repro/internal/trace"
+)
+
+func main() {
+	size := flag.Int("size", 1024, "image side length")
+	seed := flag.Uint64("seed", 1, "synthetic image seed")
+	quant := flag.Int("quant", 1, "quantization step")
+	scopes := flag.Bool("scopes", false, "also print per-loop-scope counts for the large arrays")
+	flag.Parse()
+
+	rec := trace.NewRecorder()
+	rec.EnableAddressTrace("image")
+	src := img.Synthetic(*size, *size, *seed)
+	_, stats, err := btpc.Encode(src, btpc.Params{Quant: *quant}, rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprof:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("BTPC encoder profile, %dx%d image, quant %d, %.3f bpp\n\n",
+		*size, *size, *quant, stats.BitsPerPixel())
+	fmt.Print(rec.Report())
+
+	prof := reuse.Analyze(rec.Addresses("image"))
+	fmt.Printf("\nimage array reuse (LRU miss ratio by buffer size):\n")
+	for _, s := range []int64{4, 12, 64, 256, 1024, 5 * int64(*size), 4 * int64(*size) * int64(*size) / 100} {
+		fmt.Printf("  %8d words: %5.1f%%\n", s, 100*prof.MissRatio(s))
+	}
+
+	if *scopes {
+		for _, arr := range []string{"image", "pyr", "ridge"} {
+			fmt.Printf("\n%s per scope:\n", arr)
+			type row struct {
+				scope string
+				c     trace.Counts
+			}
+			var rows []row
+			for _, scope := range scopeList(rec, arr) {
+				rows = append(rows, row{scope, rec.ArrayScope(arr, scope)})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].scope < rows[j].scope })
+			for _, r := range rows {
+				fmt.Printf("  %-16s %12d reads %12d writes\n", r.scope, r.c.Reads, r.c.Writes)
+			}
+		}
+	}
+}
+
+// scopeList enumerates the scopes that actually saw accesses to arr.
+func scopeList(rec *trace.Recorder, arr string) []string {
+	var out []string
+	for _, scope := range []string{"", "input", "tabinit", "enc/top"} {
+		if rec.ArrayScope(arr, scope).Total() > 0 {
+			out = append(out, scope)
+		}
+	}
+	for k := 0; k < 32; k++ {
+		scope := fmt.Sprintf("enc/level%d", k)
+		if rec.ArrayScope(arr, scope).Total() > 0 {
+			out = append(out, scope)
+		}
+	}
+	return out
+}

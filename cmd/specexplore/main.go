@@ -1,0 +1,91 @@
+// Command specexplore runs the physical memory management stage on a
+// pruned specification given as JSON — the designer's entry point for
+// applications other than the built-in BTPC demonstrator.
+//
+// Usage:
+//
+//	specexplore -budget 20000000 [-onchip 4] [-threshold 65536]
+//	            [-frame 1.0] [-inplace] [-interconnect] [-lifetimes] spec.json
+//
+// The specification format is documented in internal/spec (see
+// TestJSONHandWrittenSpec for a minimal example).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/inplace"
+	"repro/internal/spec"
+)
+
+func main() {
+	budget := flag.Uint64("budget", 0, "storage cycle budget per frame (required)")
+	onchip := flag.Int("onchip", 4, "number of on-chip memories to allocate")
+	threshold := flag.Int64("threshold", 64*1024, "words above which a group lives off-chip")
+	frame := flag.Float64("frame", 1.0, "frame period in seconds (for access rates)")
+	inplaceF := flag.Bool("inplace", false, "enable the in-place mapping extension")
+	interconnect := flag.Bool("interconnect", false, "enable the bus interconnect model")
+	lifetimes := flag.Bool("lifetimes", false, "print the lifetime analysis and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("expected exactly one spec file, got %d args", flag.NArg()))
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	s, err := spec.ReadJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spec %q: %d basic groups, %d loops, %d accesses/frame\n",
+		s.Name, len(s.Groups), len(s.Loops), s.TotalAccesses())
+
+	if *lifetimes {
+		fmt.Print(inplace.Report(s))
+		return
+	}
+	if *budget == 0 {
+		fatal(fmt.Errorf("-budget is required"))
+	}
+
+	ep := core.DefaultEvalParams()
+	tech := *ep.Tech
+	tech.OnChipMaxWords = *threshold
+	tech.FramePeriod = *frame
+	if *interconnect {
+		tech.Bus = tech.WithInterconnect().Bus
+	}
+	ep.Tech = &tech
+	ep.SBD.OnChipMaxWords = *threshold
+	ep.Assign.OnChipMaxWords = *threshold
+	ep.Assign.InPlace = *inplaceF
+	ep.OnChipCount = *onchip
+
+	v, err := core.Evaluate(s, *budget, s.Name, ep)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("budget %d cycles, committed %d (%d spare for the data-path)\n",
+		*budget, v.Dist.Used, v.Dist.ExtraCycles())
+	fmt.Printf("cost: %.2f mm² on-chip area, %.2f mW on-chip, %.2f mW off-chip\n",
+		v.Cost.OnChipArea, v.Cost.OnChipPower, v.Cost.OffChipPower)
+	for _, b := range v.Asgn.OnChip {
+		fmt.Printf("  %-8s %8d x %2d bit %d-port %8.2f mm² %8.2f mW: %v\n",
+			b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Area, b.Power, b.Groups)
+	}
+	for _, b := range v.Asgn.OffChip {
+		fmt.Printf("  %-22s %d-port %8.2f mW: %v\n",
+			b.Mem.Name, b.Mem.Ports, b.Power, b.Groups)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specexplore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,269 @@
+// Package dtse is the public facade of the reproduction of "Global
+// Multimedia System Design Exploration using Accurate Memory Organization
+// Feedback" (Vandecappelle, Miranda, Brockmeyer, Catthoor, Verkest — DAC
+// 1999): the IMEC Data Transfer and Storage Exploration (DTSE) feedback
+// methodology, its physical-memory-management substrate, and the BTPC image
+// coder demonstrator.
+//
+// # For your own application
+//
+// Describe the pruned application with a SpecBuilder (basic groups, loop
+// bodies, accesses with dependences and profiled counts), then run the
+// physical memory management stage:
+//
+//	b := dtse.NewSpec("myapp")
+//	b.Group("frame", 640*480, 8)
+//	b.Loop("body", 640*480)
+//	r := b.Read("frame", 1)
+//	b.Write("frame", 1, r)
+//	s := b.MustBuild()
+//	v, err := dtse.Explore(s, 20*640*480, dtse.DefaultParams())
+//	// v.Cost has the on-chip area / on-chip power / off-chip power triple.
+//
+// Transformations (basic group structuring, custom memory hierarchies) are
+// available through Compact, Merge, AnalyzeReuse, PlanHierarchy and
+// ApplyHierarchy; profiling support lives in NewRecorder and the
+// instrumented arrays.
+//
+// # Reproducing the paper
+//
+// ReproduceBTPC runs the complete stepwise methodology on the profiled BTPC
+// demonstrator and returns every explored alternative plus the regenerated
+// tables and figures (see also cmd/dtse).
+package dtse
+
+import (
+	"io"
+
+	"repro/internal/assign"
+	"repro/internal/bgstruct"
+	"repro/internal/btpc"
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/inplace"
+	"repro/internal/looptrafo"
+	"repro/internal/memlib"
+	"repro/internal/pareto"
+	"repro/internal/reuse"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Specification model.
+type (
+	// Spec is a pruned application specification (§4.1 of the paper).
+	Spec = spec.Spec
+	// SpecBuilder assembles a Spec.
+	SpecBuilder = spec.Builder
+	// BasicGroup is an atomic unit of storage and assignment.
+	BasicGroup = spec.BasicGroup
+	// Access is one memory access site in a loop body.
+	Access = spec.Access
+	// Loop is one flattened loop body.
+	Loop = spec.Loop
+)
+
+// Physical memory management.
+type (
+	// Tech bundles the on-chip and off-chip technology models.
+	Tech = memlib.Tech
+	// Memory is one allocated memory instance.
+	Memory = memlib.Memory
+	// Cost is the on-chip-area / on-chip-power / off-chip-power triple.
+	Cost = assign.Cost
+	// Assignment is a complete memory organization.
+	Assignment = assign.Assignment
+	// Distribution is a storage-cycle-budget distribution result.
+	Distribution = sbd.Distribution
+	// Pattern is one parallel-access conflict pattern.
+	Pattern = sbd.Pattern
+)
+
+// Exploration driver.
+type (
+	// EvalParams bundles tool parameters for one exploration session.
+	EvalParams = core.EvalParams
+	// Variant is one evaluated design alternative.
+	Variant = core.Variant
+	// Results is the full output of the BTPC methodology run.
+	Results = core.Results
+	// DemoConfig configures the BTPC demonstrator.
+	DemoConfig = core.DemoConfig
+	// ParetoPoint is one cost point for Pareto filtering.
+	ParetoPoint = pareto.Point
+)
+
+// Profiling and reuse analysis.
+type (
+	// Recorder counts memory accesses per array and scope.
+	Recorder = trace.Recorder
+	// ReuseProfile is the LRU reuse-distance histogram of a read trace.
+	ReuseProfile = reuse.Profile
+	// Layer is one candidate copy layer of a memory hierarchy.
+	Layer = reuse.Layer
+	// Hierarchy is a planned memory hierarchy for one array.
+	Hierarchy = reuse.Hierarchy
+)
+
+// Image substrate and demonstrator codec.
+type (
+	// Image is an 8-bit grayscale image.
+	Image = img.Gray
+	// CodecParams configures the BTPC coder.
+	CodecParams = btpc.Params
+	// CodecStats summarizes one BTPC encode.
+	CodecStats = btpc.Stats
+)
+
+// NewSpec starts a pruned-specification builder.
+func NewSpec(name string) *SpecBuilder { return spec.NewBuilder(name) }
+
+// NewRecorder returns an access-count recorder for profiling.
+func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// DefaultTech returns the calibrated memory technology models.
+func DefaultTech() *Tech { return memlib.Default() }
+
+// DefaultParams returns the calibrated tool parameters.
+func DefaultParams() EvalParams { return core.DefaultEvalParams() }
+
+// Explore runs the physical memory management stage (storage cycle budget
+// distribution, then memory allocation and assignment) on any pruned
+// specification, returning the evaluated organization with its accurate
+// cost feedback.
+func Explore(s *Spec, cycleBudget uint64, ep EvalParams) (*Variant, error) {
+	return core.Evaluate(s, cycleBudget, s.Name, ep)
+}
+
+// Compact applies basic group compaction (§4.3): factor words packed into
+// one wider word.
+func Compact(s *Spec, group string, factor int) (*Spec, error) {
+	return bgstruct.Compact(s, group, factor)
+}
+
+// Merge applies basic group merging (§4.3): two equal-length arrays become
+// one array of records.
+func Merge(s *Spec, a, b, merged string) (*Spec, error) {
+	return bgstruct.Merge(s, a, b, merged)
+}
+
+// AnalyzeReuse computes the LRU reuse profile of a read address trace.
+func AnalyzeReuse(addrs []int32) *ReuseProfile { return reuse.Analyze(addrs) }
+
+// PlanHierarchy derives a memory hierarchy (with trace-driven miss ratios)
+// for the array from candidate copy layers, innermost first.
+func PlanHierarchy(array string, layers []Layer, prof *ReuseProfile) (*Hierarchy, error) {
+	return reuse.Plan(array, layers, prof)
+}
+
+// ApplyHierarchy rewrites a specification for the hierarchy (§4.4).
+func ApplyHierarchy(s *Spec, h *Hierarchy, bits int) (*Spec, error) {
+	return reuse.Apply(s, h, bits)
+}
+
+// ParetoFront filters design points to the Pareto-optimal subset.
+func ParetoFront(points []ParetoPoint) []ParetoPoint { return pareto.Front(points) }
+
+// ReproduceBTPC runs the paper's complete stepwise feedback methodology on
+// the BTPC demonstrator: profile, prune, structure (Table 1), hierarchy
+// (Table 2, Figure 3), cycle budget (Table 3), allocation (Table 4).
+func ReproduceBTPC(cfg DemoConfig) (*Results, error) {
+	return core.RunAll(cfg, core.DefaultEvalParams())
+}
+
+// Demonstrator is a profiled BTPC application with its pruned spec.
+type Demonstrator = core.Demonstrator
+
+// EncoderDemonstrator profiles the BTPC encoder and derives its pruned
+// specification (the paper's design target).
+func EncoderDemonstrator(cfg DemoConfig) (*Demonstrator, error) {
+	return core.BuildDemonstrator(cfg)
+}
+
+// DecoderDemonstrator profiles the BTPC decoder — the system's other half,
+// explored as an extension beyond the paper's encoder-only scope.
+func DecoderDemonstrator(cfg DemoConfig) (*Demonstrator, error) {
+	return core.BuildDecoderDemonstrator(cfg)
+}
+
+// EncodeBTPC compresses an image with the demonstrator coder, optionally
+// profiling memory accesses into rec.
+func EncodeBTPC(src *Image, p CodecParams, rec *Recorder) ([]byte, *CodecStats, error) {
+	return btpc.Encode(src, p, rec)
+}
+
+// DecodeBTPC reconstructs an image from an EncodeBTPC stream.
+func DecodeBTPC(data []byte, rec *Recorder) (*Image, error) {
+	return btpc.Decode(data, rec)
+}
+
+// DecodeBTPCProgressive reconstructs an approximation from a pyramid
+// prefix: levels below stopLevel are filled by prediction alone
+// (progressive transmission; stopLevel 0 equals DecodeBTPC).
+func DecodeBTPCProgressive(data []byte, stopLevel int, rec *Recorder) (*Image, error) {
+	return btpc.DecodeProgressive(data, stopLevel, rec)
+}
+
+// SyntheticImage builds a deterministic test image with the structures the
+// BTPC predictor distinguishes.
+func SyntheticImage(w, h int, seed uint64) *Image { return img.Synthetic(w, h, seed) }
+
+// --- Loop and data-flow transformations (§4.2) ---
+
+// TreeifyChain rebalances an associative accumulation chain into a
+// logarithmic-depth tree, shortening the memory access critical path.
+func TreeifyChain(s *Spec, loop, group string) (*Spec, error) {
+	return looptrafo.ChainTreeify(s, loop, group)
+}
+
+// SplitLoop splits a loop body at a dependence-closed frontier.
+func SplitLoop(s *Spec, loop string, firstHalf []int) (*Spec, error) {
+	return looptrafo.SplitLoop(s, loop, firstHalf)
+}
+
+// FuseLoops fuses two equal-iteration loops into one body.
+func FuseLoops(s *Spec, a, b, fused string) (*Spec, error) {
+	return looptrafo.FuseLoops(s, a, b, fused)
+}
+
+// ReduceMACP applies chain rebalancing until the unit MACP fits the target
+// (the paper's §4.2 escape hatch when the constraint is violated).
+func ReduceMACP(s *Spec, target uint64) (*Spec, []string, error) {
+	return looptrafo.ReduceMACP(s, target)
+}
+
+// --- Specification persistence ---
+
+// WriteSpecJSON serializes a specification (indented JSON).
+func WriteSpecJSON(s *Spec, w io.Writer) error { return s.WriteJSON(w) }
+
+// ReadSpecJSON parses and validates a specification.
+func ReadSpecJSON(r io.Reader) (*Spec, error) { return spec.ReadJSON(r) }
+
+// --- In-place mapping (the deferred stage, as an extension) ---
+
+// LifetimeReport renders the basic-group lifetime analysis and the
+// storage-sharing opportunities of a specification.
+func LifetimeReport(s *Spec) string { return inplace.Report(s) }
+
+// --- Workload generators ---
+
+// WorkloadContext is the real-time setting of a generated workload.
+type WorkloadContext = workloads.Context
+
+// MotionEstimationWorkload builds a full-search block-matching spec.
+func MotionEstimationWorkload(w, h, block, searchRange int) (*Spec, WorkloadContext, error) {
+	return workloads.MotionEstimation(w, h, block, searchRange)
+}
+
+// WaveletWorkload builds an in-place lifting wavelet spec.
+func WaveletWorkload(w, h, levels int) (*Spec, WorkloadContext, error) {
+	return workloads.Wavelet(w, h, levels)
+}
+
+// FIRWorkload builds an n-sample, T-tap FIR filter spec.
+func FIRWorkload(samples, taps int) (*Spec, WorkloadContext, error) {
+	return workloads.FIRFilter(samples, taps)
+}

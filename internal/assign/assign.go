@@ -1,0 +1,638 @@
+// Package assign implements the memory allocation and signal-to-memory
+// assignment step (§4.6), following the published formulation (Slock,
+// Wuytack, Catthoor, de Jong, ISSS 1997).
+//
+// Allocation fixes the number of on-chip memories; assignment maps every
+// basic group to one memory such that the conflict patterns produced by the
+// storage-cycle-budget distribution remain satisfiable: a memory must have
+// at least as many ports as the maximum number of simultaneous accesses its
+// member groups ever make in one storage cycle. The optimizer is an exact
+// branch-and-bound with a greedy incumbent (the greedy solution doubles as
+// the paper's manual-designer baseline); cost models come from memlib.
+//
+// Bitwidth waste is modeled exactly as the paper describes: a memory is as
+// wide as its widest member group, so narrow groups stored with wide ones
+// waste the upper bits in both area and access energy.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/inplace"
+	"repro/internal/memlib"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+)
+
+// Params configures the assignment.
+type Params struct {
+	// OnChipMaxWords separates on-chip from off-chip groups. Must match the
+	// threshold used for the SCBD step. Default 64Ki.
+	OnChipMaxWords int64
+	// MaxPorts caps the ports of any single memory. Default 8 (tiny register
+	// files legitimately take many ports; the cost model prices them).
+	MaxPorts int
+	// NodeBudget caps branch-and-bound nodes; on exhaustion the best
+	// solution found so far (at worst the greedy incumbent) is returned.
+	// Default 2e6.
+	NodeBudget int
+	// InPlace enables the in-place mapping extension: basic groups with
+	// disjoint lifetimes assigned to the same memory share storage, so a
+	// memory is sized by its peak live words rather than their sum.
+	InPlace bool
+}
+
+func (p *Params) normalize() {
+	if p.OnChipMaxWords == 0 {
+		p.OnChipMaxWords = 64 * 1024
+	}
+	if p.MaxPorts == 0 {
+		p.MaxPorts = 8
+	}
+	if p.NodeBudget == 0 {
+		p.NodeBudget = 2_000_000
+	}
+}
+
+// Cost is the memory-organization cost triple the paper's tables report.
+type Cost struct {
+	OnChipArea   float64 // mm²
+	OnChipPower  float64 // mW
+	OffChipPower float64 // mW
+}
+
+// TotalPower returns on-chip + off-chip power.
+func (c Cost) TotalPower() float64 { return c.OnChipPower + c.OffChipPower }
+
+// Binding is one allocated memory with its assigned basic groups.
+type Binding struct {
+	Mem    memlib.Memory
+	Groups []string
+	Power  float64 // mW contribution
+	Area   float64 // mm² contribution (0 for off-chip)
+}
+
+// Assignment is a complete memory organization.
+type Assignment struct {
+	OnChip   []Binding
+	OffChip  []Binding
+	GroupMem map[string]string // group -> memory name
+	Cost     Cost
+	Optimal  bool // false if the node budget stopped the search early
+}
+
+// problem is the shared precomputed state.
+type problem struct {
+	tech   *memlib.Tech
+	p      Params
+	groups []spec.BasicGroup // the groups being partitioned
+	acc    []uint64          // accesses per frame, per group
+	patVec [][]int           // group -> per-pattern multiplicity
+	patW   []uint64          // pattern weights (unused in cost, kept for reports)
+	nPat   int
+	nLoops int                // for in-place live-word profiles
+	life   []inplace.Interval // per group; valid when p.InPlace
+}
+
+func buildProblem(s *spec.Spec, groups []spec.BasicGroup, pats []sbd.Pattern, tech *memlib.Tech, p Params) *problem {
+	pr := &problem{tech: tech, p: p, groups: groups, nPat: len(pats), nLoops: len(s.Loops)}
+	pr.acc = make([]uint64, len(groups))
+	pr.patVec = make([][]int, len(groups))
+	pr.patW = make([]uint64, len(pats))
+	for i, pt := range pats {
+		pr.patW[i] = pt.Weight
+	}
+	var lifetimes map[string]inplace.Interval
+	if p.InPlace {
+		lifetimes = inplace.Lifetimes(s)
+		pr.life = make([]inplace.Interval, len(groups))
+	}
+	for gi, g := range groups {
+		pr.acc[gi] = s.AccessesPerFrame(g.Name)
+		vec := make([]int, len(pats))
+		for pi, pt := range pats {
+			vec[pi] = pt.Access[g.Name]
+		}
+		pr.patVec[gi] = vec
+		if p.InPlace {
+			pr.life[gi] = lifetimes[g.Name]
+		}
+	}
+	return pr
+}
+
+// memState tracks one memory's member aggregate during search.
+type memState struct {
+	words   int64
+	bits    int
+	acc     uint64
+	vec     []int // per-pattern multiplicity sum
+	ports   int
+	nGroups int
+	live    []int64 // per-loop live words (in-place mode only)
+}
+
+func (m *memState) add(pr *problem, gi int) {
+	g := pr.groups[gi]
+	if pr.p.InPlace {
+		if m.live == nil {
+			m.live = make([]int64, pr.nLoops)
+		}
+		iv := pr.life[gi]
+		peak := int64(0)
+		for li := iv.First; li <= iv.Last && li < pr.nLoops; li++ {
+			m.live[li] += g.Words
+			if m.live[li] > peak {
+				peak = m.live[li]
+			}
+		}
+		if peak > m.words {
+			m.words = peak
+		}
+	} else {
+		m.words += g.Words
+	}
+	if g.Bits > m.bits {
+		m.bits = g.Bits
+	}
+	m.acc += pr.acc[gi]
+	if m.vec == nil {
+		m.vec = make([]int, pr.nPat)
+	}
+	ports := 1
+	for pi, v := range pr.patVec[gi] {
+		m.vec[pi] += v
+		if m.vec[pi] > ports {
+			ports = m.vec[pi]
+		}
+	}
+	if ports > m.ports {
+		m.ports = ports
+	}
+	m.nGroups++
+}
+
+// recompute rebuilds the aggregate from scratch for the given member set
+// (used on removal; simpler and safe for the small sizes involved).
+func (m *memState) recompute(pr *problem, members []int) {
+	*m = memState{}
+	for _, gi := range members {
+		m.add(pr, gi)
+	}
+}
+
+// onChipCost prices one on-chip memory state.
+func (pr *problem) onChipCost(m *memState) (area, power float64, err error) {
+	if m.nGroups == 0 {
+		return 0, 0, nil
+	}
+	if m.ports > pr.p.MaxPorts {
+		return 0, 0, fmt.Errorf("assign: memory needs %d ports (max %d)", m.ports, pr.p.MaxPorts)
+	}
+	if m.words > pr.tech.SRAM.MaxWords {
+		return 0, 0, fmt.Errorf("assign: on-chip memory of %d words exceeds generator limit", m.words)
+	}
+	ports := m.ports
+	if ports < 1 {
+		ports = 1
+	}
+	area = pr.tech.SRAM.Area(m.words, m.bits, ports)
+	rate := float64(m.acc) / pr.tech.FramePeriod
+	power = pr.tech.SRAM.Power(m.words, m.bits, ports, rate)
+	return area, power, nil
+}
+
+// offChipCost prices one off-chip memory state.
+func (pr *problem) offChipCost(m *memState) (power float64, err error) {
+	if m.nGroups == 0 {
+		return 0, nil
+	}
+	ports := m.ports
+	if ports < 1 {
+		ports = 1
+	}
+	if ports > pr.p.MaxPorts {
+		return 0, fmt.Errorf("assign: off-chip memory needs %d ports (max %d)", ports, pr.p.MaxPorts)
+	}
+	return pr.tech.DRAM.Power(m.words, memlib.CatalogWidth(m.bits), ports,
+		float64(m.acc)/pr.tech.FramePeriod)
+}
+
+// partition splits the spec's groups by the on/off-chip threshold.
+func partition(s *spec.Spec, p Params) (on, off []spec.BasicGroup) {
+	for _, g := range s.Groups {
+		if s.AccessesPerFrame(g.Name) == 0 {
+			continue // pruned away: never accessed
+		}
+		if g.Words > p.OnChipMaxWords {
+			off = append(off, g)
+		} else {
+			on = append(on, g)
+		}
+	}
+	return on, off
+}
+
+// Assign computes a full memory organization with the given number of
+// on-chip memories. Off-chip groups are packed into catalog devices by
+// exhaustive partition search (there are only a few large groups).
+func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int, p Params) (*Assignment, error) {
+	p.normalize()
+	if onChipCount < 1 {
+		return nil, fmt.Errorf("assign: on-chip count %d out of range", onChipCount)
+	}
+	onG, offG := partition(s, p)
+	a := &Assignment{GroupMem: make(map[string]string)}
+
+	// Off-chip: exhaustive partition search over the (few) large groups.
+	offPr := buildProblem(s, offG, pats, tech, p)
+	offBind, offPower, err := bestOffChip(offPr)
+	if err != nil {
+		return nil, err
+	}
+	a.OffChip = offBind
+	a.Cost.OffChipPower = offPower
+
+	// On-chip: branch and bound.
+	onPr := buildProblem(s, onG, pats, tech, p)
+	bind, area, power, optimal, err := branchAndBound(onPr, onChipCount)
+	if err != nil {
+		return nil, err
+	}
+	a.OnChip = bind
+	a.Cost.OnChipArea = area
+	a.Cost.OnChipPower = power
+	a.Optimal = optimal
+
+	// Interconnect extension: its cost depends only on the allocation size
+	// and the total on-chip traffic, so it is added after the search rather
+	// than inside the assignment objective.
+	if tech.Bus.Enabled() {
+		var onAcc uint64
+		for gi := range onG {
+			onAcc += s.AccessesPerFrame(onG[gi].Name)
+		}
+		n := len(a.OnChip)
+		a.Cost.OnChipArea += tech.Bus.Area(n)
+		a.Cost.OnChipPower += tech.Bus.Power(n, float64(onAcc)/tech.FramePeriod)
+	}
+
+	for _, b := range a.OnChip {
+		for _, g := range b.Groups {
+			a.GroupMem[g] = b.Mem.Name
+		}
+	}
+	for _, b := range a.OffChip {
+		for _, g := range b.Groups {
+			a.GroupMem[g] = b.Mem.Name
+		}
+	}
+	return a, nil
+}
+
+// bestOffChip searches all set partitions of the off-chip groups (at most a
+// handful) for the cheapest feasible device packing.
+func bestOffChip(pr *problem) ([]Binding, float64, error) {
+	n := len(pr.groups)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > 8 {
+		return nil, 0, fmt.Errorf("assign: %d off-chip groups exceed the partition-search limit", n)
+	}
+	bestPower := math.Inf(1)
+	var bestParts [][]int
+	assignTo := make([]int, n)
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if i == n {
+			parts := make([][]int, used)
+			for gi, m := range assignTo[:n] {
+				parts[m] = append(parts[m], gi)
+			}
+			total := 0.0
+			for _, members := range parts {
+				var st memState
+				st.recompute(pr, members)
+				pw, err := pr.offChipCost(&st)
+				if err != nil {
+					return
+				}
+				total += pw
+			}
+			if total < bestPower {
+				bestPower = total
+				bestParts = make([][]int, len(parts))
+				for i := range parts {
+					bestParts[i] = append([]int(nil), parts[i]...)
+				}
+			}
+			return
+		}
+		for m := 0; m <= used && m < n; m++ {
+			assignTo[i] = m
+			nu := used
+			if m == used {
+				nu++
+			}
+			rec(i+1, nu)
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(bestPower, 1) {
+		return nil, 0, fmt.Errorf("assign: no feasible off-chip packing (port demand exceeds %d)", pr.p.MaxPorts)
+	}
+	var binds []Binding
+	for i, members := range bestParts {
+		var st memState
+		st.recompute(pr, members)
+		pw, err := pr.offChipCost(&st)
+		if err != nil {
+			return nil, 0, err
+		}
+		entry, err := pr.tech.DRAM.Select(st.words, memlib.CatalogWidth(st.bits))
+		if err != nil {
+			return nil, 0, err
+		}
+		ports := st.ports
+		if ports < 1 {
+			ports = 1
+		}
+		b := Binding{
+			Mem: memlib.Memory{
+				Name:  fmt.Sprintf("offchip%d(%s)", i, entry.Name),
+				Kind:  memlib.OffChip,
+				Words: st.words,
+				Bits:  memlib.CatalogWidth(st.bits),
+				Ports: ports,
+			},
+			Power: pw,
+		}
+		for _, gi := range members {
+			b.Groups = append(b.Groups, pr.groups[gi].Name)
+		}
+		sort.Strings(b.Groups)
+		binds = append(binds, b)
+	}
+	return binds, bestPower, nil
+}
+
+// areaWeight is the mm²-to-mW exchange rate of the assignment objective:
+// the optimizer minimizes power + areaWeight·area. Power carries the larger
+// weight, as in the paper's low-power-oriented tool; the reports keep the
+// components separate.
+const areaWeight = 0.3
+
+// branchAndBound finds the cheapest assignment of pr.groups into exactly
+// maxMem on-chip memories (clamped to the group count: the designer
+// allocated them, the tool uses them — Table 4's sweep axis).
+func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool, error) {
+	n := len(pr.groups)
+	if n == 0 {
+		return nil, 0, 0, true, nil
+	}
+	if maxMem > n {
+		maxMem = n
+	}
+	// Order groups by decreasing weight (accesses × width): decide the
+	// expensive groups first for stronger pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := float64(pr.acc[order[a]]) * float64(pr.groups[order[a]].Bits)
+		wb := float64(pr.acc[order[b]]) * float64(pr.groups[order[b]].Bits)
+		return wa > wb
+	})
+
+	// Per-group optimistic marginal cost: a dedicated memory of exactly its
+	// size with one port, no fixed overhead. Any real placement costs at
+	// least this much; summing over unplaced groups gives a lower bound.
+	lbTail := make([]float64, n+1)
+	lbOf := func(gi int) float64 {
+		g := pr.groups[gi]
+		e := pr.tech.SRAM.EnergyPerAccess(g.Words, g.Bits, 1)
+		power := e * (float64(pr.acc[gi]) / pr.tech.FramePeriod) * 1e-6 // nJ × 1/s → mW
+		area := pr.tech.SRAM.CellArea * float64(g.BitSize())
+		return power + areaWeight*area
+	}
+	for i := n - 1; i >= 0; i-- {
+		lbTail[i] = lbTail[i+1] + lbOf(order[i])
+	}
+
+	mems := make([]*memState, maxMem)
+	members := make([][]int, maxMem)
+	for i := range mems {
+		mems[i] = &memState{}
+	}
+	memCost := make([]float64, maxMem) // area+power of each memory
+	var curCost float64
+
+	bestCost := math.Inf(1)
+	bestAssign := make([]int, n) // group index -> memory
+	curAssign := make([]int, n)
+
+	emptyCount := func() int {
+		e := 0
+		for m := 0; m < maxMem; m++ {
+			if mems[m].nGroups == 0 {
+				e++
+			}
+		}
+		return e
+	}
+
+	// Greedy incumbent: first-fit by minimal marginal cost, forced to leave
+	// room so every allocated memory ends up used.
+	greedyAssign := func() bool {
+		for step, gi := range order {
+			remaining := n - step
+			mustOpen := remaining <= emptyCount()
+			bestM, bestDelta := -1, math.Inf(1)
+			for m := 0; m < maxMem; m++ {
+				if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
+					break // symmetry: only the first empty memory matters
+				}
+				if mustOpen && mems[m].nGroups > 0 {
+					continue
+				}
+				saved := *mems[m]
+				savedVec := append([]int(nil), mems[m].vec...)
+				savedLive := append([]int64(nil), mems[m].live...)
+				mems[m].add(pr, gi)
+				area, power, err := pr.onChipCost(mems[m])
+				delta := power + areaWeight*area - memCost[m]
+				*mems[m] = saved
+				mems[m].vec = savedVec
+				if len(savedLive) > 0 || mems[m].live != nil {
+					mems[m].live = savedLive
+				}
+				if err == nil && delta < bestDelta {
+					bestM, bestDelta = m, delta
+				}
+			}
+			if bestM < 0 {
+				return false
+			}
+			mems[bestM].add(pr, gi)
+			members[bestM] = append(members[bestM], gi)
+			a, p2, _ := pr.onChipCost(mems[bestM])
+			curCost += p2 + areaWeight*a - memCost[bestM]
+			memCost[bestM] = p2 + areaWeight*a
+			curAssign[gi] = bestM
+		}
+		return true
+	}
+	if greedyAssign() {
+		bestCost = curCost
+		copy(bestAssign, curAssign)
+	}
+	// Reset state for the exact search.
+	for i := range mems {
+		mems[i] = &memState{}
+		members[i] = nil
+		memCost[i] = 0
+	}
+	curCost = 0
+
+	nodes := 0
+	exhausted := false
+	var dfs func(step int)
+	dfs = func(step int) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes > pr.p.NodeBudget {
+			exhausted = true
+			return
+		}
+		if step == n {
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(bestAssign, curAssign)
+			}
+			return
+		}
+		if curCost+lbTail[step] >= bestCost {
+			return
+		}
+		gi := order[step]
+		mustOpen := n-step <= emptyCount()
+		for m := 0; m < maxMem; m++ {
+			if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
+				break // symmetry breaking: open memories left to right
+			}
+			if mustOpen && mems[m].nGroups > 0 {
+				continue // every allocated memory must end up used
+			}
+			saved := *mems[m]
+			savedVec := append([]int(nil), mems[m].vec...)
+			savedLive := append([]int64(nil), mems[m].live...)
+			mems[m].add(pr, gi)
+			area, power, err := pr.onChipCost(mems[m])
+			if err == nil {
+				oldCost := memCost[m]
+				memCost[m] = power + areaWeight*area
+				curCost += memCost[m] - oldCost
+				curAssign[gi] = m
+				members[m] = append(members[m], gi)
+				dfs(step + 1)
+				members[m] = members[m][:len(members[m])-1]
+				curCost -= memCost[m] - oldCost
+				memCost[m] = oldCost
+			}
+			*mems[m] = saved
+			mems[m].vec = savedVec
+			if len(savedLive) > 0 || mems[m].live != nil {
+				mems[m].live = savedLive
+			}
+		}
+	}
+	dfs(0)
+	if math.IsInf(bestCost, 1) {
+		return nil, 0, 0, false, fmt.Errorf(
+			"assign: no feasible on-chip assignment with %d memories (conflicts demand more)", maxMem)
+	}
+
+	// Materialize the best assignment.
+	finalMembers := make([][]int, maxMem)
+	for gi, m := range bestAssign {
+		finalMembers[m] = append(finalMembers[m], gi)
+	}
+	var binds []Binding
+	var totalArea, totalPower float64
+	idx := 0
+	for m := 0; m < maxMem; m++ {
+		if len(finalMembers[m]) == 0 {
+			continue
+		}
+		var st memState
+		st.recompute(pr, finalMembers[m])
+		area, power, err := pr.onChipCost(&st)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		ports := st.ports
+		if ports < 1 {
+			ports = 1
+		}
+		b := Binding{
+			Mem: memlib.Memory{
+				Name:  fmt.Sprintf("sram%d", idx),
+				Kind:  memlib.OnChip,
+				Words: st.words,
+				Bits:  st.bits,
+				Ports: ports,
+			},
+			Area:  area,
+			Power: power,
+		}
+		for _, gi := range finalMembers[m] {
+			b.Groups = append(b.Groups, pr.groups[gi].Name)
+		}
+		sort.Strings(b.Groups)
+		binds = append(binds, b)
+		totalArea += area
+		totalPower += power
+		idx++
+	}
+	return binds, totalArea, totalPower, !exhausted, nil
+}
+
+// Greedy returns the greedy-only assignment (the baseline a designer
+// without the optimizing tool would reach by first-fit reasoning).
+func Greedy(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int, p Params) (*Assignment, error) {
+	p.normalize()
+	saveNB := p.NodeBudget
+	p.NodeBudget = 1 // force the search to stop immediately after greedy
+	a, err := Assign(s, pats, tech, onChipCount, p)
+	p.NodeBudget = saveNB
+	if err != nil {
+		return nil, err
+	}
+	a.Optimal = false
+	return a, nil
+}
+
+// Sweep evaluates a range of on-chip allocation sizes (Table 4's axis) and
+// returns one assignment per count, skipping infeasible counts.
+func Sweep(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, counts []int, p Params) ([]*Assignment, []int, error) {
+	var out []*Assignment
+	var okCounts []int
+	for _, c := range counts {
+		a, err := Assign(s, pats, tech, c, p)
+		if err != nil {
+			continue
+		}
+		out = append(out, a)
+		okCounts = append(okCounts, c)
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("assign: no feasible allocation in sweep %v", counts)
+	}
+	return out, okCounts, nil
+}

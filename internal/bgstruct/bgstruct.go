@@ -1,0 +1,236 @@
+// Package bgstruct implements basic group (re)structuring (§4.3): the two
+// exploration axes of Figure 2.
+//
+//   - Compaction packs several words of one narrow array into one wider
+//     word. Reads and writes coalesce by the packing factor, but every
+//     compacted write needs an extra read first, "to make sure the old
+//     value of the other words isn't overwritten".
+//   - Merging combines two arrays into one array of records. Co-indexed
+//     accesses (same site tag) collapse into single accesses; a write that
+//     touches only one of the two fields becomes a read-modify-write.
+//
+// Both transforms return modified clones, so exploration branches stay
+// independent; the physical-memory-management stages evaluate the variants
+// and the cost feedback steers the decision.
+package bgstruct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// Compact packs factor words of the named group into one word. The result
+// has ⌈words/factor⌉ words of bits×factor width.
+func Compact(s *spec.Spec, group string, factor int) (*spec.Spec, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("bgstruct: compaction factor %d must be >= 2", factor)
+	}
+	g, ok := s.Group(group)
+	if !ok {
+		return nil, fmt.Errorf("bgstruct: unknown group %q", group)
+	}
+	if g.Bits*factor > 64 {
+		return nil, fmt.Errorf("bgstruct: compacted width %d exceeds 64 bits", g.Bits*factor)
+	}
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s+compact(%s,%d)", s.Name, group, factor)
+	for i := range out.Groups {
+		if out.Groups[i].Name == group {
+			out.Groups[i].Words = (g.Words + int64(factor) - 1) / int64(factor)
+			out.Groups[i].Bits = g.Bits * factor
+		}
+	}
+	f := float64(factor)
+	for li := range out.Loops {
+		l := &out.Loops[li]
+		var rebuilt []spec.Access
+		remap := make(map[int]int)
+		for _, a := range l.Accesses {
+			if a.Group != group {
+				remap[a.ID] = len(rebuilt)
+				rebuilt = append(rebuilt, a)
+				continue
+			}
+			a.Count /= f
+			if !a.Write {
+				remap[a.ID] = len(rebuilt)
+				rebuilt = append(rebuilt, a)
+				continue
+			}
+			// Compacted write: read-modify-write of the compound word.
+			rd := spec.Access{
+				ID:     len(rebuilt),
+				Group:  group,
+				Count:  a.Count,
+				Deps:   append([]int(nil), a.Deps...),
+				Site:   a.Site,
+				Branch: a.Branch,
+			}
+			rebuilt = append(rebuilt, rd)
+			a.Deps = append(append([]int(nil), a.Deps...), -1-rd.ID) // marker: already-new ID
+			remap[a.ID] = len(rebuilt)
+			rebuilt = append(rebuilt, a)
+		}
+		finishRemap(l, rebuilt, remap)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("bgstruct: compaction produced invalid spec: %w", err)
+	}
+	return out, nil
+}
+
+// Merge combines groups a and b (equal word counts) into one group named
+// merged, with the sum of the widths. Same-site accesses of a and b with
+// the same direction collapse into one access; single-field writes become
+// read-modify-writes.
+func Merge(s *spec.Spec, a, b, merged string) (*spec.Spec, error) {
+	ga, ok := s.Group(a)
+	if !ok {
+		return nil, fmt.Errorf("bgstruct: unknown group %q", a)
+	}
+	gb, ok := s.Group(b)
+	if !ok {
+		return nil, fmt.Errorf("bgstruct: unknown group %q", b)
+	}
+	if ga.Words != gb.Words {
+		return nil, fmt.Errorf("bgstruct: cannot merge %q (%d words) with %q (%d words)",
+			a, ga.Words, b, gb.Words)
+	}
+	if _, exists := s.Group(merged); exists {
+		return nil, fmt.Errorf("bgstruct: merged group name %q already in use", merged)
+	}
+	if ga.Bits+gb.Bits > 64 {
+		return nil, fmt.Errorf("bgstruct: merged width %d exceeds 64 bits", ga.Bits+gb.Bits)
+	}
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s+merge(%s,%s)", s.Name, a, b)
+	// Replace the two groups by the merged one (at a's position).
+	var gs []spec.BasicGroup
+	for _, g := range out.Groups {
+		switch g.Name {
+		case a:
+			gs = append(gs, spec.BasicGroup{Name: merged, Words: ga.Words, Bits: ga.Bits + gb.Bits})
+		case b:
+			// dropped
+		default:
+			gs = append(gs, g)
+		}
+	}
+	out.Groups = gs
+
+	for li := range out.Loops {
+		l := &out.Loops[li]
+		// Pair same-site, same-direction accesses of a and b.
+		partner := make(map[int]int) // a-side ID -> b-side ID
+		taken := make(map[int]bool)  // b-side IDs consumed by a pair
+		for _, aa := range l.Accesses {
+			if aa.Group != a || aa.Site == "" {
+				continue
+			}
+			for _, ab := range l.Accesses {
+				if ab.Group == b && ab.Site == aa.Site && ab.Write == aa.Write && !taken[ab.ID] {
+					partner[aa.ID] = ab.ID
+					taken[ab.ID] = true
+					break
+				}
+			}
+		}
+		var rebuilt []spec.Access
+		remap := make(map[int]int)
+		for _, acc := range l.Accesses {
+			if taken[acc.ID] {
+				continue // b-side of a pair: folded into the a-side
+			}
+			switch {
+			case acc.Group == a && hasPartner(partner, acc.ID):
+				pb := l.Accesses[partner[acc.ID]]
+				na := acc
+				na.Group = merged
+				na.Count = (acc.Count + pb.Count) / 2
+				na.Deps = unionDeps(acc.Deps, pb.Deps)
+				remap[acc.ID] = len(rebuilt)
+				remap[pb.ID] = len(rebuilt)
+				na.ID = len(rebuilt)
+				rebuilt = append(rebuilt, na)
+			case acc.Group == a || acc.Group == b:
+				acc.Group = merged
+				if acc.Write {
+					// Single-field write: fetch the record first.
+					rd := spec.Access{
+						ID:     len(rebuilt),
+						Group:  merged,
+						Count:  acc.Count,
+						Deps:   append([]int(nil), acc.Deps...),
+						Site:   acc.Site,
+						Branch: acc.Branch,
+					}
+					rebuilt = append(rebuilt, rd)
+					acc.Deps = append(append([]int(nil), acc.Deps...), -1-rd.ID)
+				}
+				remap[acc.ID] = len(rebuilt)
+				acc.ID = len(rebuilt)
+				rebuilt = append(rebuilt, acc)
+			default:
+				remap[acc.ID] = len(rebuilt)
+				acc.ID = len(rebuilt)
+				rebuilt = append(rebuilt, acc)
+			}
+		}
+		finishRemap(l, rebuilt, remap)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("bgstruct: merging produced invalid spec: %w", err)
+	}
+	return out, nil
+}
+
+func hasPartner(m map[int]int, id int) bool {
+	_, ok := m[id]
+	return ok
+}
+
+// finishRemap rewrites dependence edges of the rebuilt access list: plain
+// IDs go through remap, negative markers (-1-newID) are already new IDs.
+func finishRemap(l *spec.Loop, rebuilt []spec.Access, remap map[int]int) {
+	for i := range rebuilt {
+		seen := make(map[int]bool)
+		var deps []int
+		for _, d := range rebuilt[i].Deps {
+			nd := d
+			if d < 0 {
+				nd = -1 - d
+			} else {
+				nd = remap[d]
+			}
+			if nd != i && !seen[nd] {
+				seen[nd] = true
+				deps = append(deps, nd)
+			}
+		}
+		sort.Ints(deps)
+		rebuilt[i].Deps = deps
+		rebuilt[i].ID = i
+	}
+	l.Accesses = rebuilt
+}
+
+func unionDeps(a, b []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, d := range a {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, d := range b {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

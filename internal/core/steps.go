@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/assign"
+	"repro/internal/bgstruct"
+	"repro/internal/dfg"
+	"repro/internal/memlib"
+	"repro/internal/reuse"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+)
+
+// parallelEach runs f(0..n-1) concurrently. Evaluations only read the
+// shared specification, so the sweeps parallelize safely; results are
+// collected by index, keeping every exploration deterministic.
+func parallelEach(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// EvalParams bundles the technology and tool parameters shared by all
+// evaluation calls of one exploration session.
+type EvalParams struct {
+	Tech        *memlib.Tech
+	SBD         sbd.Params
+	Assign      assign.Params
+	OnChipCount int // allocation used for steps 1-3; Table 4 sweeps it
+}
+
+// DefaultEvalParams returns the calibrated defaults used throughout the
+// reproduction (thresholds kept consistent between the SCBD and assignment
+// steps).
+func DefaultEvalParams() EvalParams {
+	tech := memlib.Default()
+	return EvalParams{
+		Tech:        tech,
+		SBD:         sbd.Params{OnChipMaxWords: tech.OnChipMaxWords},
+		Assign:      assign.Params{OnChipMaxWords: tech.OnChipMaxWords},
+		OnChipCount: 4,
+	}
+}
+
+// ScaleTo adapts the on/off-chip size threshold to the profiled image size
+// so that scaled-down demonstrators keep the paper's memory structure: the
+// three image-sized arrays always live off-chip, the copy layers and tables
+// on-chip. At the paper's 1024×1024 size this is the 64Ki generator limit.
+func (ep EvalParams) ScaleTo(size int) EvalParams {
+	th := int64(size) * int64(size) / 8
+	if th > 64*1024 {
+		th = 64 * 1024
+	}
+	if th < 1024 {
+		th = 1024
+	}
+	tech := *ep.Tech
+	tech.OnChipMaxWords = th
+	// The real-time constraint is 1 Mpixel/s, so the frame period scales
+	// with the pixel count and access rates stay size-independent.
+	tech.FramePeriod = float64(size) * float64(size) / 1e6
+	ep.Tech = &tech
+	ep.SBD.OnChipMaxWords = th
+	ep.Assign.OnChipMaxWords = th
+	return ep
+}
+
+// Variant is one fully evaluated design alternative: the specification
+// after the decision under study, its budget distribution, and the memory
+// organization the physical-memory-management stage derived — with the
+// accurate cost feedback the methodology runs on.
+type Variant struct {
+	Label string
+	Spec  *spec.Spec
+	Dist  *sbd.Distribution
+	Asgn  *assign.Assignment
+	Cost  assign.Cost
+}
+
+// Evaluate runs the physical memory management stage on a specification:
+// storage cycle budget distribution followed by allocation and assignment.
+// If the requested allocation is infeasible (the conflict structure demands
+// more memories), nearby larger allocations are tried.
+func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Variant, error) {
+	dist, err := sbd.Distribute(s, budget, ep.SBD)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", label, err)
+	}
+	pats := sbd.PrunePatterns(dist.Patterns)
+	var asgn *assign.Assignment
+	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
+		asgn, err = assign.Assign(s, pats, ep.Tech, count, ep.Assign)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: allocation failed: %w", label, err)
+	}
+	return &Variant{Label: label, Spec: s, Dist: dist, Asgn: asgn, Cost: asgn.Cost}, nil
+}
+
+// ExploreStructuring evaluates the basic group structuring alternatives of
+// §4.3 (Table 1): untouched, ridge compacted, and ridge+pyr merged.
+func ExploreStructuring(d *Demonstrator, ep EvalParams) ([]*Variant, error) {
+	var out []*Variant
+	v, err := Evaluate(d.Spec, d.CycleBudget, "No structuring", ep)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v)
+
+	compacted, err := bgstruct.Compact(d.Spec, "ridge", 3)
+	if err != nil {
+		return nil, err
+	}
+	v, err = Evaluate(compacted, d.CycleBudget, "ridge compacted", ep)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v)
+
+	merged, err := bgstruct.Merge(d.Spec, "ridge", "pyr", "pyrridge")
+	if err != nil {
+		return nil, err
+	}
+	v, err = Evaluate(merged, d.CycleBudget, "ridge and pyr merged", ep)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, v)
+	return out, nil
+}
+
+// HierarchyLayers returns the paper's candidate copy layers for the image
+// array, scaled to the profiled image: ylocal is the 12-register window
+// buffer, yhier the ~5K line buffer (Figure 3).
+func HierarchyLayers(size int) (ylocal, yhier reuse.Layer) {
+	words := int64(5 * size)
+	if words < 64 {
+		words = 64
+	}
+	return reuse.Layer{Name: "ylocal", Words: 12}, reuse.Layer{Name: "yhier", Words: words}
+}
+
+// ExploreHierarchy evaluates the four memory-hierarchy alternatives of
+// §4.4 (Table 2) on the given (already structured) specification.
+func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant, []*reuse.Hierarchy, error) {
+	ylocal, yhier := HierarchyLayers(d.Config.Size)
+	type option struct {
+		label  string
+		layers []reuse.Layer
+	}
+	options := []option{
+		{"No hierarchy", nil},
+		{"Only layer 1 (yhier)", []reuse.Layer{yhier}},
+		{"Only layer 0 (ylocal)", []reuse.Layer{ylocal}},
+		{"2 layers (both)", []reuse.Layer{ylocal, yhier}},
+	}
+	variants := make([]*Variant, len(options))
+	hierarchies := make([]*reuse.Hierarchy, len(options))
+	errs := make([]error, len(options))
+	parallelEach(len(options), func(i int) {
+		h, err := reuse.Plan("image", options[i].layers, d.ImageProfile)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		applied, err := reuse.Apply(s, h, 8)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		v, err := Evaluate(applied, d.CycleBudget, options[i].label, ep)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		variants[i] = v
+		hierarchies[i] = h
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return variants, hierarchies, nil
+}
+
+// BudgetPoint is one row of the cycle-budget exploration (Table 3).
+type BudgetPoint struct {
+	*Variant
+	Budget uint64 // the offered storage cycle budget
+	Extra  uint64 // cycles left for data-path scheduling (vs. the full budget)
+}
+
+// ExploreBudgets sweeps the storage cycle budget downward from the
+// real-time maximum (§4.5, Table 3). The sweep stops when the budget drops
+// below the weighted MACP.
+func ExploreBudgets(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
+	fracs := []float64{1.0, 0.95, 0.90, 0.85, 0.82, 0.80, 0.78, 0.75, 0.72, 0.70, 0.68}
+	return budgetSweep(s, fullBudget, fracs, ep)
+}
+
+// ExploreBudgetsPipelined extends the Table 3 sweep below the dependence
+// critical path by enabling software pipelining: iterations overlap, so
+// ever-tighter initiation intervals remain schedulable — at the price of
+// off-chip access overlap, which is where the paper's off-chip power jump
+// at the tightest budget comes from.
+func ExploreBudgetsPipelined(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
+	ep.SBD.Pipelined = true
+	fracs := []float64{0.68, 0.60, 0.52, 0.45, 0.40, 0.34, 0.30, 0.26, 0.22}
+	return budgetSweep(s, fullBudget, fracs, ep)
+}
+
+func budgetSweep(s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams) ([]*BudgetPoint, error) {
+	variants := make([]*Variant, len(fracs))
+	parallelEach(len(fracs), func(i int) {
+		budget := uint64(float64(fullBudget) * fracs[i])
+		v, err := Evaluate(s, budget, fmt.Sprintf("budget %.0f%%", 100*fracs[i]), ep)
+		if err != nil {
+			return // below MACP or infeasible allocation: not a row
+		}
+		variants[i] = v
+	})
+	var out []*BudgetPoint
+	seenUsed := make(map[uint64]bool)
+	for i, v := range variants {
+		if v == nil || seenUsed[v.Dist.Used] {
+			continue // infeasible, or same committed schedule: identical row
+		}
+		seenUsed[v.Dist.Used] = true
+		out = append(out, &BudgetPoint{
+			Variant: v,
+			Budget:  uint64(float64(fullBudget) * fracs[i]),
+			Extra:   fullBudget - v.Dist.Used,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no feasible budget in the sweep")
+	}
+	return out, nil
+}
+
+// ChooseBudget applies the paper's designer rule: spare as many cycles for
+// the data-path as possible "with little or no increase in the cost of the
+// memory organization". Tolerances are relative to the most relaxed row.
+func ChooseBudget(points []*BudgetPoint, powerTol, areaTol float64) *BudgetPoint {
+	ref := points[0]
+	best := ref
+	for _, p := range points[1:] {
+		if p.Cost.TotalPower() <= ref.Cost.TotalPower()*(1+powerTol) &&
+			p.Cost.OnChipArea <= ref.Cost.OnChipArea*(1+areaTol) &&
+			p.Extra > best.Extra {
+			best = p
+		}
+	}
+	return best
+}
+
+// ExploreAllocations sweeps the number of allocated on-chip memories
+// (§4.6, Table 4) at a fixed budget distribution.
+func ExploreAllocations(s *spec.Spec, dist *sbd.Distribution, counts []int, ep EvalParams) ([]*Variant, []int, error) {
+	pats := sbd.PrunePatterns(dist.Patterns)
+	asgns := make([]*assign.Assignment, len(counts))
+	parallelEach(len(counts), func(i int) {
+		if a, err := assign.Assign(s, pats, ep.Tech, counts[i], ep.Assign); err == nil {
+			asgns[i] = a
+		}
+	})
+	var out []*Variant
+	var okCounts []int
+	for i, a := range asgns {
+		if a == nil {
+			continue
+		}
+		out = append(out, &Variant{
+			Label: fmt.Sprintf("%d on-chip memories", counts[i]),
+			Spec:  s,
+			Dist:  dist,
+			Asgn:  a,
+			Cost:  a.Cost,
+		})
+		okCounts = append(okCounts, counts[i])
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("core: no feasible allocation in sweep %v", counts)
+	}
+	return out, okCounts, nil
+}
+
+// MACPReport summarizes the §4.2 critical-path analysis: the dependence-
+// bound minimum cycles (unit accesses), the duration-weighted minimum, and
+// the real-time budget they must fit under.
+type MACPReport struct {
+	UnitMACP     uint64 // each access one cycle
+	WeightedMACP uint64 // off-chip accesses take several cycles
+	CycleBudget  uint64
+	Feasible     bool
+}
+
+// AnalyzeMACP computes the critical-path report for a specification.
+func AnalyzeMACP(s *spec.Spec, budget uint64, ep EvalParams) MACPReport {
+	groups := make(map[string]spec.BasicGroup)
+	for _, g := range s.Groups {
+		groups[g.Name] = g
+	}
+	var weighted uint64
+	for i := range s.Loops {
+		weighted += uint64(sbd.WeightedCP(&s.Loops[i], groups, ep.SBD)) * s.Loops[i].Iterations
+	}
+	return MACPReport{
+		UnitMACP:     dfg.MACP(s),
+		WeightedMACP: weighted,
+		CycleBudget:  budget,
+		Feasible:     weighted <= budget,
+	}
+}

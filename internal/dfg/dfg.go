@@ -1,0 +1,154 @@
+// Package dfg provides the flow-graph analysis underlying the paper's
+// critical-path step (§4.2) and the storage-cycle-budget distribution
+// (§4.5): topological ordering, the memory access critical path (MACP), and
+// ASAP/ALAP scheduling windows for the accesses of a loop body.
+//
+// The model follows the paper's abstraction: every memory access occupies
+// one storage cycle, dependences between accesses of the same body demand
+// sequentialism, and the minimal chain of dependences limits the achievable
+// execution speed — "this is called the memory access critical path".
+package dfg
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// TopoOrder returns the access IDs of l in a topological order of the
+// dependence DAG. The spec is assumed validated (acyclic).
+func TopoOrder(l *spec.Loop) []int {
+	n := len(l.Accesses)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, a := range l.Accesses {
+		for _, d := range a.Deps {
+			succ[d] = append(succ[d], a.ID)
+			indeg[a.ID]++
+		}
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range succ[v] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("dfg: loop %q has a dependence cycle", l.Name))
+	}
+	return order
+}
+
+// CriticalPath returns the length (in storage cycles) of the longest
+// dependence chain in the loop body: the minimum per-iteration cycle
+// budget for which a feasible access ordering exists.
+func CriticalPath(l *spec.Loop) int {
+	if len(l.Accesses) == 0 {
+		return 0
+	}
+	depth := make([]int, len(l.Accesses))
+	longest := 0
+	for _, id := range TopoOrder(l) {
+		d := 1
+		for _, dep := range l.Accesses[id].Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[id] = d
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// MACP returns the memory access critical path of the whole specification:
+// the minimum number of storage cycles per frame, obtained by executing
+// every loop body at its per-iteration critical path.
+func MACP(s *spec.Spec) uint64 {
+	var total uint64
+	for i := range s.Loops {
+		total += uint64(CriticalPath(&s.Loops[i])) * s.Loops[i].Iterations
+	}
+	return total
+}
+
+// MinBudget returns the smallest per-iteration cycle budget of the loop:
+// identical to CriticalPath, exported under the budget vocabulary used by
+// the SCBD step.
+func MinBudget(l *spec.Loop) int { return CriticalPath(l) }
+
+// Window is the feasible cycle interval of one access under a body budget.
+type Window struct {
+	ASAP int // earliest feasible cycle (0-based)
+	ALAP int // latest feasible cycle
+}
+
+// Windows computes the ASAP/ALAP windows of every access of l for the given
+// per-iteration cycle budget. It fails if the budget is below the critical
+// path.
+func Windows(l *spec.Loop, budget int) ([]Window, error) {
+	cp := CriticalPath(l)
+	if budget < cp {
+		return nil, fmt.Errorf("dfg: loop %q: budget %d below critical path %d",
+			l.Name, budget, cp)
+	}
+	n := len(l.Accesses)
+	win := make([]Window, n)
+	order := TopoOrder(l)
+	// ASAP forward pass.
+	for _, id := range order {
+		asap := 0
+		for _, dep := range l.Accesses[id].Deps {
+			if win[dep].ASAP+1 > asap {
+				asap = win[dep].ASAP + 1
+			}
+		}
+		win[id].ASAP = asap
+	}
+	// ALAP backward pass.
+	succ := make([][]int, n)
+	for _, a := range l.Accesses {
+		for _, d := range a.Deps {
+			succ[d] = append(succ[d], a.ID)
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		alap := budget - 1
+		for _, s := range succ[id] {
+			if win[s].ALAP-1 < alap {
+				alap = win[s].ALAP - 1
+			}
+		}
+		win[id].ALAP = alap
+	}
+	return win, nil
+}
+
+// Slack returns the total scheduling freedom (Σ ALAP−ASAP) of the loop at
+// the given budget: a measure of how much room the balancer has to avoid
+// conflicts.
+func Slack(l *spec.Loop, budget int) (int, error) {
+	win, err := Windows(l, budget)
+	if err != nil {
+		return 0, err
+	}
+	s := 0
+	for _, w := range win {
+		s += w.ALAP - w.ASAP
+	}
+	return s, nil
+}

@@ -1,0 +1,181 @@
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// Static is a canonical (two-pass) Huffman code: the baseline the adaptive
+// coder is measured against. A static code needs the symbol statistics up
+// front and must transmit its code lengths; the adaptive coder needs
+// neither, which is why Robinson's BTPC uses it.
+type Static struct {
+	n       int
+	lengths []uint8  // code length per symbol (0 = absent)
+	codes   []uint32 // canonical code bits per symbol
+	// decode table: (length, firstCode, firstIndex) per length
+	sorted []int // symbols ordered by (length, symbol)
+	first  [maxCodeLen + 2]uint32
+	offset [maxCodeLen + 2]int
+}
+
+const maxCodeLen = 32
+
+type hNode struct {
+	weight      uint64
+	symbol      int // -1 internal
+	left, right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BuildStatic constructs the optimal prefix code for the given frequency
+// table (length = alphabet size). Symbols with zero frequency get no code.
+func BuildStatic(freqs []uint64) (*Static, error) {
+	n := len(freqs)
+	if n < 1 {
+		return nil, errors.New("huffman: empty frequency table")
+	}
+	var h hHeap
+	for sym, f := range freqs {
+		if f > 0 {
+			heap.Push(&h, &hNode{weight: f, symbol: sym})
+		}
+	}
+	if h.Len() == 0 {
+		return nil, errors.New("huffman: all frequencies zero")
+	}
+	lengths := make([]uint8, n)
+	if h.Len() == 1 {
+		lengths[h[0].symbol] = 1 // degenerate: one symbol, one bit
+	} else {
+		heap.Init(&h)
+		for h.Len() > 1 {
+			a := heap.Pop(&h).(*hNode)
+			b := heap.Pop(&h).(*hNode)
+			heap.Push(&h, &hNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+		}
+		var walk func(node *hNode, depth uint8)
+		walk = func(node *hNode, depth uint8) {
+			if node.symbol >= 0 {
+				lengths[node.symbol] = depth
+				return
+			}
+			walk(node.left, depth+1)
+			walk(node.right, depth+1)
+		}
+		walk(h[0], 0)
+	}
+	return NewStaticFromLengths(lengths)
+}
+
+// NewStaticFromLengths builds the canonical code from per-symbol lengths —
+// the form a decoder reconstructs after reading the transmitted lengths.
+func NewStaticFromLengths(lengths []uint8) (*Static, error) {
+	n := len(lengths)
+	s := &Static{n: n, lengths: append([]uint8(nil), lengths...), codes: make([]uint32, n)}
+	// Kraft check.
+	kraft := 0.0
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxCodeLen {
+			return nil, fmt.Errorf("huffman: symbol %d length %d exceeds %d", sym, l, maxCodeLen)
+		}
+		kraft += 1 / float64(uint64(1)<<l)
+	}
+	if kraft > 1+1e-9 {
+		return nil, errors.New("huffman: lengths violate the Kraft inequality")
+	}
+	// Canonical assignment: symbols sorted by (length, symbol).
+	for sym, l := range lengths {
+		if l > 0 {
+			s.sorted = append(s.sorted, sym)
+		}
+	}
+	sort.Slice(s.sorted, func(i, j int) bool {
+		a, b := s.sorted[i], s.sorted[j]
+		if lengths[a] != lengths[b] {
+			return lengths[a] < lengths[b]
+		}
+		return a < b
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	for idx, sym := range s.sorted {
+		l := lengths[sym]
+		code <<= (l - prevLen)
+		if prevLen == 0 {
+			s.first[l] = code
+			s.offset[l] = idx
+		} else if l != prevLen {
+			s.first[l] = code
+			s.offset[l] = idx
+		}
+		s.codes[sym] = code
+		code++
+		prevLen = l
+	}
+	return s, nil
+}
+
+// Lengths returns the per-symbol code lengths (what a stream header would
+// transmit).
+func (s *Static) Lengths() []uint8 { return append([]uint8(nil), s.lengths...) }
+
+// HeaderBits returns the cost of transmitting the code table (a plain
+// fixed-width length field per symbol, the simple scheme BTPC-era coders
+// used).
+func (s *Static) HeaderBits() int { return s.n * 6 }
+
+// Encode appends the code for sym.
+func (s *Static) Encode(sym int, w *bitio.Writer) error {
+	if sym < 0 || sym >= s.n || s.lengths[sym] == 0 {
+		return fmt.Errorf("huffman: symbol %d has no static code", sym)
+	}
+	w.WriteBits(uint64(s.codes[sym]), uint(s.lengths[sym]))
+	return nil
+}
+
+// Decode reads one symbol.
+func (s *Static) Decode(r *bitio.Reader) (int, error) {
+	code := uint32(0)
+	for l := uint8(1); l <= maxCodeLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		code = code<<1 | uint32(b)
+		// Within length l, valid codes are [first[l], first[l]+count).
+		idx := s.offset[l] + int(code-s.first[l])
+		if idx >= 0 && idx < len(s.sorted) && s.lengths[s.sorted[idx]] == l && code >= s.first[l] {
+			return s.sorted[idx], nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// CodeLen returns the code length for sym (0 if absent).
+func (s *Static) CodeLen(sym int) int { return int(s.lengths[sym]) }

@@ -1,0 +1,191 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func TestStaticRoundTrip(t *testing.T) {
+	freqs := []uint64{50, 30, 10, 5, 3, 1, 1}
+	s, err := BuildStatic(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var syms []int
+	for i := 0; i < 2000; i++ {
+		syms = append(syms, rng.Intn(len(freqs)))
+	}
+	w := bitio.NewWriter()
+	for _, sym := range syms {
+		if err := s.Encode(sym, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decode with a code rebuilt from the transmitted lengths.
+	d, err := NewStaticFromLengths(s.Lengths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := d.Decode(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestStaticOptimalityWithinEntropyBound(t *testing.T) {
+	// Huffman codes are within 1 bit/symbol of the entropy.
+	freqs := []uint64{1000, 500, 250, 125, 60, 30, 20, 15}
+	s, err := BuildStatic(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, f := range freqs {
+		total += f
+	}
+	entropy, avgLen := 0.0, 0.0
+	for sym, f := range freqs {
+		p := float64(f) / float64(total)
+		entropy += -p * math.Log2(p)
+		avgLen += p * float64(s.CodeLen(sym))
+	}
+	if avgLen < entropy-1e-9 {
+		t.Fatalf("average length %.3f below entropy %.3f (impossible)", avgLen, entropy)
+	}
+	if avgLen > entropy+1 {
+		t.Fatalf("average length %.3f exceeds entropy %.3f + 1", avgLen, entropy)
+	}
+}
+
+func TestStaticDegenerateSingleSymbol(t *testing.T) {
+	s, err := BuildStatic([]uint64{0, 42, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter()
+	for i := 0; i < 5; i++ {
+		if err := s.Encode(1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i := 0; i < 5; i++ {
+		sym, err := s.Decode(r)
+		if err != nil || sym != 1 {
+			t.Fatalf("decode %d: %d, %v", i, sym, err)
+		}
+	}
+	if err := s.Encode(0, w); err == nil {
+		t.Fatal("absent symbol encoded")
+	}
+}
+
+func TestStaticErrors(t *testing.T) {
+	if _, err := BuildStatic(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := BuildStatic([]uint64{0, 0}); err == nil {
+		t.Error("all-zero table accepted")
+	}
+	if _, err := NewStaticFromLengths([]uint8{1, 1, 1}); err == nil {
+		t.Error("Kraft-violating lengths accepted")
+	}
+	if _, err := NewStaticFromLengths([]uint8{40}); err == nil {
+		t.Error("overlong code accepted")
+	}
+	s, _ := BuildStatic([]uint64{3, 2, 1})
+	if _, err := s.Decode(bitio.NewReader(nil)); err != ErrCorrupt {
+		t.Error("empty stream decode should fail")
+	}
+}
+
+// TestAdaptiveApproachesStatic: the adaptive coder (which needs neither a
+// first pass nor a transmitted table) must come close to the two-pass
+// static optimum — the property that justifies BTPC's choice.
+func TestAdaptiveApproachesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 64
+	freqs := make([]uint64, n)
+	var syms []int
+	for i := 0; i < 30000; i++ {
+		s := rng.Intn(4)
+		if rng.Intn(4) == 0 {
+			s = rng.Intn(n)
+		}
+		syms = append(syms, s)
+		freqs[s]++
+	}
+	st, err := BuildStatic(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := bitio.NewWriter()
+	for _, s := range syms {
+		if err := st.Encode(s, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	staticBits := ws.Len() + st.HeaderBits()
+
+	ad := New(n)
+	wa := bitio.NewWriter()
+	for _, s := range syms {
+		ad.Encode(s, wa)
+	}
+	adaptiveBits := wa.Len()
+
+	ratio := float64(adaptiveBits) / float64(staticBits)
+	if ratio > 1.06 {
+		t.Fatalf("adaptive %d bits is %.1f%% worse than static %d bits",
+			adaptiveBits, 100*(ratio-1), staticBits)
+	}
+}
+
+// Property: any non-degenerate frequency table yields a decodable code.
+func TestQuickStaticRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw)%20 + 2
+		freqs := make([]uint64, n)
+		var syms []int
+		for _, b := range raw {
+			s := int(b) % n
+			freqs[s]++
+			syms = append(syms, s)
+		}
+		st, err := BuildStatic(freqs)
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter()
+		for _, s := range syms {
+			if st.Encode(s, w) != nil {
+				return false
+			}
+		}
+		r := bitio.NewReader(w.Bytes())
+		for _, want := range syms {
+			got, err := st.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

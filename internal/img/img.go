@@ -1,0 +1,267 @@
+// Package img provides the grayscale image substrate for the BTPC
+// demonstrator: an 8-bit image type, binary PGM (P5) encoding/decoding, and
+// deterministic synthetic image generators.
+//
+// The original paper profiles the coder on real pictures; those are not
+// available here, so the generators synthesize images with the structures
+// BTPC's predictor classes react to (flat regions, horizontal/vertical
+// edges, diagonal ridges, texture) plus noise, driven by a seeded xorshift
+// PRNG so every run is reproducible.
+package img
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Gray is an 8-bit grayscale image with row-major pixel storage.
+type Gray struct {
+	W, H int
+	Pix  []uint8 // len == W*H
+}
+
+// New returns a zeroed W×H image.
+func New(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y). Panics if out of bounds (bounds are the
+// caller's responsibility, as with a raw array in the C specification).
+func (g *Gray) At(x, y int) uint8 { return g.Pix[y*g.W+x] }
+
+// Set writes the pixel at (x, y).
+func (g *Gray) Set(x, y int, v uint8) { g.Pix[y*g.W+x] = v }
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	c := New(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// Equal reports whether two images have identical dimensions and pixels.
+func (g *Gray) Equal(o *Gray) bool {
+	if g.W != o.W || g.H != o.H {
+		return false
+	}
+	for i, p := range g.Pix {
+		if p != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MSE returns the mean squared error between two images of equal size.
+func (g *Gray) MSE(o *Gray) (float64, error) {
+	if g.W != o.W || g.H != o.H {
+		return 0, fmt.Errorf("img: size mismatch %dx%d vs %dx%d", g.W, g.H, o.W, o.H)
+	}
+	var sum float64
+	for i := range g.Pix {
+		d := float64(g.Pix[i]) - float64(o.Pix[i])
+		sum += d * d
+	}
+	return sum / float64(len(g.Pix)), nil
+}
+
+// EncodePGM serializes the image as binary PGM (P5, maxval 255).
+func (g *Gray) EncodePGM() []byte {
+	hdr := fmt.Sprintf("P5\n%d %d\n255\n", g.W, g.H)
+	out := make([]byte, 0, len(hdr)+len(g.Pix))
+	out = append(out, hdr...)
+	return append(out, g.Pix...)
+}
+
+// DecodePGM parses a binary PGM (P5) image with maxval <= 255.
+func DecodePGM(data []byte) (*Gray, error) {
+	pos := 0
+	token := func() (string, error) {
+		// Skip whitespace and '#' comments.
+		for pos < len(data) {
+			switch c := data[pos]; {
+			case c == '#':
+				for pos < len(data) && data[pos] != '\n' {
+					pos++
+				}
+			case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+				pos++
+			default:
+				start := pos
+				for pos < len(data) && !isSpace(data[pos]) {
+					pos++
+				}
+				return string(data[start:pos]), nil
+			}
+		}
+		return "", errors.New("img: truncated PGM header")
+	}
+	magic, err := token()
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("img: not a binary PGM (magic %q)", magic)
+	}
+	var dims [3]int
+	for i := range dims {
+		tok, err := token()
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("img: bad PGM header field %q", tok)
+		}
+		dims[i] = v
+	}
+	w, h, maxval := dims[0], dims[1], dims[2]
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("img: invalid PGM dimensions %dx%d", w, h)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("img: unsupported PGM maxval %d", maxval)
+	}
+	pos++ // single whitespace after maxval
+	if len(data)-pos < w*h {
+		return nil, errors.New("img: truncated PGM pixel data")
+	}
+	g := New(w, h)
+	copy(g.Pix, data[pos:pos+w*h])
+	return g, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// RNG is a 64-bit xorshift* PRNG. It is deliberately tiny and deterministic
+// so synthetic workloads are reproducible across runs and platforms.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds an RNG; a zero seed is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("img: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Synthetic builds a deterministic test image combining the structures the
+// BTPC predictor distinguishes: a smooth background gradient, rectangular
+// flat patches, hard horizontal/vertical edges, a diagonal ridge, a textured
+// band and mild sensor-like noise.
+func Synthetic(w, h int, seed uint64) *Gray {
+	g := New(w, h)
+	rng := NewRNG(seed)
+	// Smooth diagonal gradient background.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, uint8((x*160/w+y*96/h)&0xFF))
+		}
+	}
+	// Flat rectangular patches (objects).
+	for i := 0; i < 6; i++ {
+		px, py := rng.Intn(w), rng.Intn(h)
+		pw, ph := w/8+rng.Intn(w/4+1), h/8+rng.Intn(h/4+1)
+		val := uint8(rng.Intn(256))
+		for y := py; y < py+ph && y < h; y++ {
+			for x := px; x < px+pw && x < w; x++ {
+				g.Set(x, y, val)
+			}
+		}
+	}
+	// A hard vertical and horizontal edge.
+	for y := 0; y < h; y++ {
+		for x := w / 3; x < w/3+2 && x < w; x++ {
+			g.Set(x, y, 255)
+		}
+	}
+	for x := 0; x < w; x++ {
+		for y := 2 * h / 3; y < 2*h/3+2 && y < h; y++ {
+			g.Set(x, y, 0)
+		}
+	}
+	// Diagonal ridge.
+	for d := 0; d < w && d < h; d++ {
+		g.Set(d, d, 230)
+		if d+1 < w {
+			g.Set(d+1, d, 210)
+		}
+	}
+	// Textured band: high-frequency checkering in the lower quarter.
+	for y := 3 * h / 4; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x^y)&1 == 1 {
+				v := int(g.At(x, y)) + 40
+				if v > 255 {
+					v = 255
+				}
+				g.Set(x, y, uint8(v))
+			}
+		}
+	}
+	// Mild noise on 10% of the pixels.
+	for i := 0; i < w*h/10; i++ {
+		x, y := rng.Intn(w), rng.Intn(h)
+		v := int(g.At(x, y)) + rng.Intn(17) - 8
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		g.Set(x, y, uint8(v))
+	}
+	return g
+}
+
+// Gradient returns a pure diagonal gradient (highly predictable content).
+func Gradient(w, h int) *Gray {
+	g := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, uint8((x+y)*255/(w+h-2+1)))
+		}
+	}
+	return g
+}
+
+// Noise returns uniform random pixels (incompressible content).
+func Noise(w, h int, seed uint64) *Gray {
+	g := New(w, h)
+	rng := NewRNG(seed)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+// Flat returns a constant-valued image.
+func Flat(w, h int, v uint8) *Gray {
+	g := New(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+	return g
+}

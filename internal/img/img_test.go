@@ -1,0 +1,252 @@
+package img
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	g := New(4, 3)
+	if g.W != 4 || g.H != 3 || len(g.Pix) != 12 {
+		t.Fatalf("New(4,3) = %dx%d len %d", g.W, g.H, len(g.Pix))
+	}
+	g.Set(2, 1, 77)
+	if g.At(2, 1) != 77 {
+		t.Fatalf("At(2,1) = %d, want 77", g.At(2, 1))
+	}
+	if g.Pix[1*4+2] != 77 {
+		t.Fatal("Set wrote to the wrong row-major index")
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x0 image")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Synthetic(16, 16, 1)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Set(0, 0, g.At(0, 0)+1)
+	if g.Equal(c) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqualSizeMismatch(t *testing.T) {
+	if New(2, 2).Equal(New(2, 3)) {
+		t.Fatal("images of different size reported equal")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	a := Flat(4, 4, 10)
+	b := Flat(4, 4, 13)
+	mse, err := a.MSE(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 9 {
+		t.Fatalf("MSE = %v, want 9", mse)
+	}
+	if _, err := a.MSE(New(3, 4)); err == nil {
+		t.Fatal("size-mismatched MSE did not error")
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	g := Synthetic(37, 23, 42) // odd sizes on purpose
+	got, err := DecodePGM(g.EncodePGM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Fatal("PGM round trip lost data")
+	}
+}
+
+func TestDecodePGMWithComments(t *testing.T) {
+	data := []byte("P5\n# a comment\n2 2\n# another\n255\n\x01\x02\x03\x04")
+	g, err := DecodePGM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 2 || g.H != 2 || g.At(1, 1) != 4 {
+		t.Fatalf("bad decode: %dx%d last=%d", g.W, g.H, g.At(1, 1))
+	}
+}
+
+func TestDecodePGMErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"wrong magic":     []byte("P6\n2 2\n255\n\x00\x00\x00\x00"),
+		"truncated pix":   []byte("P5\n2 2\n255\n\x00\x00"),
+		"bad field":       []byte("P5\nx 2\n255\n"),
+		"empty":           nil,
+		"zero width":      []byte("P5\n0 2\n255\n"),
+		"maxval too big":  []byte("P5\n1 1\n65535\n\x00\x00"),
+		"missing header":  []byte("P5\n2"),
+		"negative height": []byte("P5\n2 -1\n255\n"),
+	}
+	for name, data := range cases {
+		if _, err := DecodePGM(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seeded RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero-seeded RNG is stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(64, 64, 99)
+	b := Synthetic(64, 64, 99)
+	if !a.Equal(b) {
+		t.Fatal("Synthetic not deterministic for equal seeds")
+	}
+	c := Synthetic(64, 64, 100)
+	if a.Equal(c) {
+		t.Fatal("Synthetic identical for different seeds")
+	}
+}
+
+func TestSyntheticHasStructure(t *testing.T) {
+	g := Synthetic(64, 64, 5)
+	// Must contain the hard vertical edge (value 255 column at w/3).
+	found := false
+	for y := 0; y < g.H; y++ {
+		if g.At(g.W/3, y) == 255 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("synthetic image lacks the vertical edge")
+	}
+	// Histogram should span a reasonable dynamic range.
+	var hist [256]int
+	for _, p := range g.Pix {
+		hist[p]++
+	}
+	distinct := 0
+	for _, c := range hist {
+		if c > 0 {
+			distinct++
+		}
+	}
+	if distinct < 32 {
+		t.Fatalf("only %d distinct gray levels, want >= 32", distinct)
+	}
+}
+
+func TestGradientMonotone(t *testing.T) {
+	g := Gradient(32, 32)
+	for y := 0; y < g.H; y++ {
+		for x := 1; x < g.W; x++ {
+			if g.At(x, y) < g.At(x-1, y) {
+				t.Fatalf("gradient not monotone at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestFlat(t *testing.T) {
+	g := Flat(8, 8, 42)
+	for _, p := range g.Pix {
+		if p != 42 {
+			t.Fatalf("flat image has pixel %d", p)
+		}
+	}
+}
+
+func TestNoiseUsesFullRangeIsh(t *testing.T) {
+	g := Noise(64, 64, 11)
+	var hist [256]int
+	for _, p := range g.Pix {
+		hist[p]++
+	}
+	distinct := 0
+	for _, c := range hist {
+		if c > 0 {
+			distinct++
+		}
+	}
+	if distinct < 200 {
+		t.Fatalf("noise image has only %d distinct levels", distinct)
+	}
+}
+
+// Property: PGM round-trip is the identity for arbitrary pixel content.
+func TestQuickPGMRoundTrip(t *testing.T) {
+	f := func(pix []byte, wSeed uint8) bool {
+		w := int(wSeed)%16 + 1
+		h := len(pix) / w
+		if h == 0 {
+			return true
+		}
+		g := New(w, h)
+		copy(g.Pix, pix)
+		got, err := DecodePGM(g.EncodePGM())
+		return err == nil && g.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePGMHeader(t *testing.T) {
+	g := New(5, 7)
+	enc := string(g.EncodePGM())
+	if !strings.HasPrefix(enc, "P5\n5 7\n255\n") {
+		t.Fatalf("unexpected PGM header: %q", enc[:20])
+	}
+}

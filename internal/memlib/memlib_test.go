@@ -1,0 +1,329 @@
+package memlib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMAreaMonotoneInSize(t *testing.T) {
+	s := &Default().SRAM
+	prev := 0.0
+	for _, words := range []int64{64, 256, 1024, 4096, 16384, 65536} {
+		a := s.Area(words, 8, 1)
+		if a <= prev {
+			t.Fatalf("area not monotone: %d words -> %.3f (prev %.3f)", words, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestSRAMEnergySublinear(t *testing.T) {
+	// Doubling the size must less-than-double the energy per access:
+	// the property the paper's memory-splitting argument rests on.
+	s := &Default().SRAM
+	for _, words := range []int64{256, 1024, 8192} {
+		e1 := s.EnergyPerAccess(words, 8, 1)
+		e2 := s.EnergyPerAccess(2*words, 8, 1)
+		if e2 >= 2*e1 {
+			t.Fatalf("energy superlinear at %d words: %.4f -> %.4f", words, e1, e2)
+		}
+		if e2 <= e1 {
+			t.Fatalf("energy not increasing at %d words: %.4f -> %.4f", words, e1, e2)
+		}
+	}
+}
+
+func TestSplittingReducesEnergy(t *testing.T) {
+	// Two half-size memories must cost less energy per access than one big
+	// one (at equal total accesses), but more area (fixed overhead twice).
+	s := &Default().SRAM
+	const words, bits = 8192, 16
+	big := s.EnergyPerAccess(words, bits, 1)
+	half := s.EnergyPerAccess(words/2, bits, 1)
+	if half >= big {
+		t.Fatalf("half-size memory not cheaper per access: %.4f vs %.4f", half, big)
+	}
+	bigArea := s.Area(words, bits, 1)
+	splitArea := 2 * s.Area(words/2, bits, 1)
+	if splitArea <= bigArea {
+		t.Fatalf("splitting should cost area: %.3f vs %.3f", splitArea, bigArea)
+	}
+}
+
+func TestMultiportPenalties(t *testing.T) {
+	s := &Default().SRAM
+	a1 := s.Area(1024, 8, 1)
+	a2 := s.Area(1024, 8, 2)
+	if a2 <= a1*1.3 {
+		t.Fatalf("2-port area penalty too small: %.3f vs %.3f", a2, a1)
+	}
+	e1 := s.EnergyPerAccess(1024, 8, 1)
+	e2 := s.EnergyPerAccess(1024, 8, 2)
+	if e2 <= e1 {
+		t.Fatalf("2-port energy penalty missing: %.4f vs %.4f", e2, e1)
+	}
+}
+
+func TestDRAMSelect(t *testing.T) {
+	d := &Default().DRAM
+	e, err := d.Select(1024*1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bits < 10 || e.Words < 1024*1024 {
+		t.Fatalf("selected %+v does not fit 1M x 10", e)
+	}
+	// A 10-bit signal must land in a 16-bit device (catalog widths).
+	if e.Bits != 16 {
+		t.Fatalf("selected width %d, want 16", e.Bits)
+	}
+	if _, err := d.Select(1<<40, 8); err == nil {
+		t.Fatal("absurd size accepted")
+	}
+	if _, err := d.Select(1024, 33); err == nil {
+		t.Fatal("33-bit off-chip width accepted")
+	}
+}
+
+func TestDRAMSelectPrefersCheapest(t *testing.T) {
+	d := &Default().DRAM
+	small, err := d.Select(100*1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := d.Select(3*1024*1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.EnergyAccess >= big.EnergyAccess {
+		t.Fatalf("small request (%+v) not cheaper than big (%+v)", small, big)
+	}
+}
+
+func TestSixteenBitCostsMoreThanEight(t *testing.T) {
+	// The paper: a 16-bit off-chip memory "consumes more power than an
+	// 8-bit memory" at the same access rate.
+	d := &Default().DRAM
+	p8, err := d.Power(1024*1024, 8, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16, err := d.Power(1024*1024, 16, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16 <= p8 {
+		t.Fatalf("16-bit power %.2f not above 8-bit %.2f", p16, p8)
+	}
+}
+
+func TestDRAMPortPenalty(t *testing.T) {
+	d := &Default().DRAM
+	p1, err := d.Power(1024*1024, 8, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Power(1024*1024, 8, 2, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 < p1*1.5 {
+		t.Fatalf("2-port off-chip power %.2f should be >= 1.5x 1-port %.2f", p2, p1)
+	}
+}
+
+func TestTechAreaAndPower(t *testing.T) {
+	tech := Default()
+	m := Memory{Name: "buf", Kind: OnChip, Words: 5 * 1024, Bits: 8, Ports: 2}
+	a, err := tech.Area(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 || a > 200 {
+		t.Fatalf("implausible area %.2f mm² for a 5K buffer", a)
+	}
+	p, err := tech.Power(m, 6_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 500 {
+		t.Fatalf("implausible power %.2f mW", p)
+	}
+	off := Memory{Name: "img", Kind: OffChip, Words: 1024 * 1024, Bits: 8, Ports: 1}
+	a2, err := tech.Area(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != 0 {
+		t.Fatalf("off-chip area %.2f, want 0 (not reported)", a2)
+	}
+}
+
+func TestTechRejectsOversizedOnChip(t *testing.T) {
+	tech := Default()
+	m := Memory{Name: "huge", Kind: OnChip, Words: 1024 * 1024, Bits: 8, Ports: 1}
+	if _, err := tech.Area(m); err == nil {
+		t.Fatal("1M-word on-chip memory accepted")
+	}
+	if _, err := tech.Power(m, 1); err == nil {
+		t.Fatal("1M-word on-chip power accepted")
+	}
+}
+
+func TestMemoryValidate(t *testing.T) {
+	bad := []Memory{
+		{Name: "w0", Words: 0, Bits: 8, Ports: 1},
+		{Name: "b0", Words: 10, Bits: 0, Ports: 1},
+		{Name: "b65", Words: 10, Bits: 65, Ports: 1},
+		{Name: "p0", Words: 10, Bits: 8, Ports: 0},
+		{Name: "p9", Words: 10, Bits: 8, Ports: 9},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: invalid memory accepted", m.Name)
+		}
+	}
+	good := Memory{Name: "ok", Words: 10, Bits: 8, Ports: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid memory rejected: %v", err)
+	}
+}
+
+func TestCatalogWidth(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 8}, {2, 8}, {8, 8}, {9, 16}, {10, 16}, {16, 16}, {17, 32}, {20, 32},
+	}
+	for _, c := range cases {
+		if got := CatalogWidth(c.in); got != c.want {
+			t.Errorf("CatalogWidth(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if OnChip.String() != "on-chip" || OffChip.String() != "off-chip" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown Kind should still render")
+	}
+}
+
+// Property: area and energy are monotone non-decreasing in words, bits and
+// ports over the modeled range.
+func TestQuickSRAMMonotone(t *testing.T) {
+	s := &Default().SRAM
+	f := func(w1, w2 uint16, bits1, bits2, ports1, ports2 uint8) bool {
+		wa, wb := int64(w1)+1, int64(w2)+1
+		if wa > wb {
+			wa, wb = wb, wa
+		}
+		ba, bb := int(bits1)%32+1, int(bits2)%32+1
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		pa, pb := int(ports1)%4+1, int(ports2)%4+1
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Area(wa, ba, pa) <= s.Area(wb, bb, pb) &&
+			s.EnergyPerAccess(wa, ba, pa) <= s.EnergyPerAccess(wb, bb, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DRAM Select result always fits the request.
+func TestQuickDRAMSelectFits(t *testing.T) {
+	d := &Default().DRAM
+	f := func(words uint32, bits uint8) bool {
+		w := int64(words)%(16*1024*1024) + 1
+		b := int(bits)%16 + 1
+		e, err := d.Select(w, b)
+		if err != nil {
+			return false
+		}
+		return e.Words >= w && e.Bits >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalePreservesStructure(t *testing.T) {
+	base := Default()
+	shrunk := base.Scale(0.5, 0.6)
+	// On-chip costs scale; DRAM catalog and thresholds are untouched.
+	if a := shrunk.SRAM.Area(1024, 8, 1); a >= base.SRAM.Area(1024, 8, 1) {
+		t.Fatal("area did not shrink")
+	}
+	if e := shrunk.SRAM.EnergyPerAccess(1024, 8, 1); e >= base.SRAM.EnergyPerAccess(1024, 8, 1) {
+		t.Fatal("energy did not shrink")
+	}
+	if len(shrunk.DRAM.Entries) != len(base.DRAM.Entries) {
+		t.Fatal("DRAM catalog changed")
+	}
+	if shrunk.OnChipMaxWords != base.OnChipMaxWords {
+		t.Fatal("threshold changed")
+	}
+	// The original is untouched (deep copy of the catalog).
+	shrunk.DRAM.Entries[0].EnergyAccess = 1
+	if base.DRAM.Entries[0].EnergyAccess == 1 {
+		t.Fatal("Scale shares the DRAM catalog")
+	}
+}
+
+func TestTechPowerOffChip(t *testing.T) {
+	tech := Default()
+	m := Memory{Name: "x", Kind: OffChip, Words: 1024 * 1024, Bits: 8, Ports: 1}
+	p, err := tech.Power(m, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Fatal("no off-chip power")
+	}
+	bad := Memory{Name: "y", Kind: OffChip, Words: 1 << 40, Bits: 8, Ports: 1}
+	if _, err := tech.Power(bad, 1); err == nil {
+		t.Fatal("uncatalogable device accepted")
+	}
+	if _, err := tech.Area(bad); err == nil {
+		t.Fatal("uncatalogable device area accepted")
+	}
+	invalid := Memory{Name: "z", Kind: OffChip, Words: 0, Bits: 8, Ports: 1}
+	if _, err := tech.Power(invalid, 1); err == nil {
+		t.Fatal("invalid memory accepted")
+	}
+	unknown := Memory{Name: "k", Kind: Kind(7), Words: 8, Bits: 8, Ports: 1}
+	if _, err := tech.Power(unknown, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := tech.Area(unknown); err == nil {
+		t.Fatal("unknown kind area accepted")
+	}
+}
+
+func TestWithInterconnectDoesNotMutate(t *testing.T) {
+	base := Default()
+	wi := base.WithInterconnect()
+	if base.Bus.Enabled() {
+		t.Fatal("WithInterconnect mutated the base tech")
+	}
+	if !wi.Bus.Enabled() {
+		t.Fatal("bus not enabled")
+	}
+}
+
+func TestPowerScalesWithRate(t *testing.T) {
+	tech := Default()
+	m := Memory{Name: "x", Kind: OnChip, Words: 1024, Bits: 8, Ports: 1}
+	p1, _ := tech.Power(m, 1_000_000)
+	p2, _ := tech.Power(m, 2_000_000)
+	dynamic1 := p1 - tech.SRAM.StaticPower
+	dynamic2 := p2 - tech.SRAM.StaticPower
+	if math.Abs(dynamic2-2*dynamic1) > 1e-9 {
+		t.Fatalf("dynamic power not linear in rate: %.6f vs %.6f", dynamic1, dynamic2)
+	}
+}

@@ -1,0 +1,93 @@
+// Package pareto provides area/time/power cost points and Pareto-front
+// filtering for the exploration results. The paper's methodology evaluates
+// several alternatives per step and keeps the interesting trade-off points;
+// this package formalizes "interesting".
+package pareto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one evaluated design alternative. All three objectives are
+// minimized. Time is typically the used storage cycles (or zero when the
+// alternatives share a budget).
+type Point struct {
+	Label string
+	Area  float64 // mm²
+	Power float64 // mW
+	Time  float64 // cycles (or seconds; any consistent unit)
+}
+
+// Dominates reports whether a is at least as good as b in every objective
+// and strictly better in at least one.
+func Dominates(a, b Point) bool {
+	if a.Area > b.Area || a.Power > b.Power || a.Time > b.Time {
+		return false
+	}
+	return a.Area < b.Area || a.Power < b.Power || a.Time < b.Time
+}
+
+// Front returns the Pareto-optimal subset of points, in a deterministic
+// order (sorted by area, then power, then time, then label). Duplicate
+// cost vectors are all kept (they are distinct alternatives).
+func Front(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		switch {
+		case a.Area != b.Area:
+			return a.Area < b.Area
+		case a.Power != b.Power:
+			return a.Power < b.Power
+		case a.Time != b.Time:
+			return a.Time < b.Time
+		default:
+			return a.Label < b.Label
+		}
+	})
+	return front
+}
+
+// Best returns the point minimizing the weighted sum wA·Area + wP·Power +
+// wT·Time; ties break on label for determinism.
+func Best(points []Point, wA, wP, wT float64) (Point, bool) {
+	if len(points) == 0 {
+		return Point{}, false
+	}
+	best := points[0]
+	bestV := wA*best.Area + wP*best.Power + wT*best.Time
+	for _, p := range points[1:] {
+		v := wA*p.Area + wP*p.Power + wT*p.Time
+		if v < bestV || (v == bestV && p.Label < best.Label) {
+			best, bestV = p, v
+		}
+	}
+	return best, true
+}
+
+// String renders a compact summary of a point set.
+func String(points []Point) string {
+	var b strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-28s area %8.1f mm²  power %8.1f mW  time %12.0f\n",
+			p.Label, p.Area, p.Power, p.Time)
+	}
+	return b.String()
+}

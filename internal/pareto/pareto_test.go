@@ -1,0 +1,144 @@
+package pareto
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{"a", 1, 1, 1}
+	b := Point{"b", 2, 2, 2}
+	c := Point{"c", 1, 3, 0}
+	if !Dominates(a, b) {
+		t.Error("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Error("a and c are incomparable")
+	}
+	if Dominates(a, a) {
+		t.Error("a point must not dominate itself (no strict improvement)")
+	}
+}
+
+func TestFrontBasic(t *testing.T) {
+	pts := []Point{
+		{"good", 1, 5, 0},
+		{"alsoGood", 5, 1, 0},
+		{"bad", 6, 6, 0},
+		{"mid", 3, 3, 0},
+	}
+	f := Front(pts)
+	if len(f) != 3 {
+		t.Fatalf("front size %d, want 3: %v", len(f), f)
+	}
+	for _, p := range f {
+		if p.Label == "bad" {
+			t.Fatal("dominated point in front")
+		}
+	}
+	// Deterministic ordering by area.
+	if f[0].Label != "good" || f[2].Label != "alsoGood" {
+		t.Fatalf("unexpected order: %v", f)
+	}
+}
+
+func TestFrontKeepsDuplicates(t *testing.T) {
+	pts := []Point{{"x", 1, 1, 1}, {"y", 1, 1, 1}}
+	if f := Front(pts); len(f) != 2 {
+		t.Fatalf("duplicate cost vectors filtered: %v", f)
+	}
+}
+
+func TestFrontEmpty(t *testing.T) {
+	if f := Front(nil); f != nil {
+		t.Fatalf("Front(nil) = %v", f)
+	}
+}
+
+func TestBest(t *testing.T) {
+	pts := []Point{
+		{"powerHog", 1, 100, 0},
+		{"balanced", 10, 10, 0},
+	}
+	b, ok := Best(pts, 1, 1, 0)
+	if !ok || b.Label != "balanced" {
+		t.Fatalf("Best = %+v", b)
+	}
+	b, _ = Best(pts, 1, 0, 0) // area only
+	if b.Label != "powerHog" {
+		t.Fatalf("area-weighted Best = %+v", b)
+	}
+	if _, ok := Best(nil, 1, 1, 1); ok {
+		t.Fatal("Best of empty set reported ok")
+	}
+}
+
+func TestBestTieBreaksOnLabel(t *testing.T) {
+	pts := []Point{{"zeta", 1, 1, 1}, {"alpha", 1, 1, 1}}
+	b, _ := Best(pts, 1, 1, 1)
+	if b.Label != "alpha" {
+		t.Fatalf("tie break chose %q", b.Label)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String([]Point{{"v1", 1.5, 2.5, 100}})
+	if !strings.Contains(s, "v1") || !strings.Contains(s, "1.5") {
+		t.Fatalf("String output %q", s)
+	}
+}
+
+// Property: no front member dominates another; every non-front point is
+// dominated by some front member.
+func TestQuickFrontCorrect(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var pts []Point
+		for i := 0; i+2 < len(raw); i += 3 {
+			pts = append(pts, Point{
+				Label: string(rune('a' + i%26)),
+				Area:  float64(raw[i] % 8),
+				Power: float64(raw[i+1] % 8),
+				Time:  float64(raw[i+2] % 8),
+			})
+		}
+		front := Front(pts)
+		inFront := func(p Point) bool {
+			for _, q := range front {
+				if q == p {
+					return true
+				}
+			}
+			return false
+		}
+		for i, p := range front {
+			for j, q := range front {
+				if i != j && Dominates(p, q) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			if inFront(p) {
+				continue
+			}
+			dominated := false
+			for _, q := range front {
+				if Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package report renders the exploration results in the shapes the paper
+// presents them: cost tables (Tables 1–4), the memory hierarchy diagram
+// (Figure 3), the basic-group structuring schematic (Figure 2), and the
+// stepwise-refinement exploration tree (Figure 1).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/assign"
+	"repro/internal/reuse"
+)
+
+// Table is a simple fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; it must match the header width.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Headers) > 0 && len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)) + "\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CostRow formats the paper's three cost columns for one variant.
+func CostRow(label string, c assign.Cost) []string {
+	return []string{
+		label,
+		fmt.Sprintf("%.1f", c.OnChipArea),
+		fmt.Sprintf("%.1f", c.OnChipPower),
+		fmt.Sprintf("%.1f", c.OffChipPower),
+	}
+}
+
+// CostTable builds a paper-style cost table.
+func CostTable(title string, firstColumn string) *Table {
+	return &Table{
+		Title:   title,
+		Headers: []string{firstColumn, "on-chip area [mm2]", "on-chip power [mW]", "off-chip power [mW]"},
+	}
+}
+
+// HierarchyDiagram renders the Figure 3 style layer picture for a chosen
+// hierarchy and the port counts the assignment gave each layer.
+func HierarchyDiagram(h *reuse.Hierarchy, ports map[string]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory hierarchy for the %s array\n", h.Array)
+	// Render outermost (backing) first, like the paper's Figure 3.
+	write := func(layer string, words int64, miss float64, last bool) {
+		p := ports[layer]
+		if p == 0 {
+			p = 1
+		}
+		fmt.Fprintf(&b, "  [%s: %s, %d-port]", layer, humanWords(words), p)
+		if miss >= 0 {
+			fmt.Fprintf(&b, " (miss %.1f%%)", 100*miss)
+		}
+		if !last {
+			b.WriteString(" <---copies--- ")
+		}
+	}
+	if len(h.Layers) == 0 {
+		fmt.Fprintf(&b, "  [%s] directly serves the data-paths (no hierarchy)\n", h.Array)
+		return b.String()
+	}
+	write(h.Array, -1, -1, false)
+	for i := len(h.Layers) - 1; i >= 0; i-- {
+		write(h.Layers[i].Name, h.Layers[i].Words, h.MissRatios[i], i == 0)
+	}
+	b.WriteString(" ---> data-paths\n")
+	return b.String()
+}
+
+func humanWords(w int64) string {
+	switch {
+	case w < 0:
+		return "backing"
+	case w >= 1<<20 && w%(1<<20) == 0:
+		return fmt.Sprintf("%dM", w>>20)
+	case w >= 1<<10 && w%(1<<10) == 0:
+		return fmt.Sprintf("%dK", w>>10)
+	default:
+		return fmt.Sprintf("%d", w)
+	}
+}
+
+// TreeNode is one decision stage of the Figure 1 exploration tree.
+type TreeNode struct {
+	Stage    string
+	Options  []string
+	Chosen   string
+	Children []*TreeNode
+}
+
+// RenderTree renders the stepwise refinement tree with the explored options
+// per stage and the decision taken.
+func RenderTree(root *TreeNode) string {
+	var b strings.Builder
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s:\n", indent, n.Stage)
+		for _, o := range n.Options {
+			marker := " "
+			if o == n.Chosen {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "%s  %s %s\n", indent, marker, o)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// StructuringDiagram renders the Figure 2 schematic for compaction and
+// merging in ASCII.
+func StructuringDiagram() string {
+	return strings.Join([]string{
+		"(a) basic group compaction: k narrow words -> 1 wide word",
+		"      |a0|a1|a2|  ...   =>   |a0 a1 a2| ...",
+		"      reads/writes coalesce by k; writes add a fetch read",
+		"(b) basic group merging: two arrays -> one array of records",
+		"      |a0|a1|...  +  |b0|b1|...   =>   |a0 b0|a1 b1|...",
+		"      co-indexed accesses collapse; single-field writes fetch first",
+	}, "\n") + "\n"
+}

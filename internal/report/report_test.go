@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/reuse"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := CostTable("Table X", "Version")
+	tb.AddRow(CostRow("no structuring", assign.Cost{OnChipArea: 85.0, OnChipPower: 47.3, OffChipPower: 208.0})...)
+	tb.AddRow(CostRow("merged", assign.Cost{OnChipArea: 65.4, OnChipPower: 39.4, OffChipPower: 130.2})...)
+	out := tb.Render()
+	for _, want := range []string{"Table X", "Version", "85.0", "130.2", "on-chip area"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: header separator line present.
+	if !strings.Contains(out, "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("only one")
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", "y")
+	out := tb.Render()
+	if !strings.Contains(out, "x") || strings.Contains(out, "---") {
+		t.Fatalf("headerless render wrong:\n%s", out)
+	}
+}
+
+func TestHierarchyDiagram(t *testing.T) {
+	h := &reuse.Hierarchy{
+		Array:      "image",
+		Layers:     []reuse.Layer{{Name: "ylocal", Words: 12}, {Name: "yhier", Words: 5120}},
+		MissRatios: []float64{0.4, 0.05},
+	}
+	out := HierarchyDiagram(h, map[string]int{"yhier": 2, "image": 1, "ylocal": 1})
+	for _, want := range []string{"image", "yhier: 5K, 2-port", "ylocal: 12, 1-port", "data-paths", "copies"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	// Outermost layer must appear before the innermost.
+	if strings.Index(out, "yhier") > strings.Index(out, "ylocal") {
+		t.Fatalf("layer order wrong:\n%s", out)
+	}
+}
+
+func TestHierarchyDiagramNoHierarchy(t *testing.T) {
+	h := &reuse.Hierarchy{Array: "image"}
+	out := HierarchyDiagram(h, nil)
+	if !strings.Contains(out, "no hierarchy") {
+		t.Fatalf("diagram: %s", out)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	root := &TreeNode{
+		Stage:   "BG structuring",
+		Options: []string{"none", "compact", "merge"},
+		Chosen:  "merge",
+		Children: []*TreeNode{{
+			Stage:   "Memory hierarchy",
+			Options: []string{"none", "layer0"},
+			Chosen:  "layer0",
+		}},
+	}
+	out := RenderTree(root)
+	if !strings.Contains(out, "* merge") || !strings.Contains(out, "  none") {
+		t.Fatalf("tree render:\n%s", out)
+	}
+	if strings.Index(out, "BG structuring") > strings.Index(out, "Memory hierarchy") {
+		t.Fatal("child rendered before parent")
+	}
+}
+
+func TestStructuringDiagram(t *testing.T) {
+	out := StructuringDiagram()
+	if !strings.Contains(out, "compaction") || !strings.Contains(out, "merging") {
+		t.Fatalf("diagram:\n%s", out)
+	}
+}
+
+func TestHumanWords(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12",
+		1024:    "1K",
+		5120:    "5K",
+		1 << 20: "1M",
+		3 << 20: "3M",
+		1000:    "1000",
+		-1:      "backing",
+	}
+	for in, want := range cases {
+		if got := humanWords(in); got != want {
+			t.Errorf("humanWords(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

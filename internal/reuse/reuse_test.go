@@ -1,0 +1,276 @@
+package reuse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.Total() != 0 || p.MissRatio(16) != 0 {
+		t.Fatalf("empty trace profile: total %d miss %.2f", p.Total(), p.MissRatio(16))
+	}
+}
+
+func TestCyclicTraceMissBoundary(t *testing.T) {
+	// Cyclic access over k distinct addresses: every non-cold access has
+	// stack distance exactly k, so an LRU of size >= k hits and any
+	// smaller LRU misses — the classic boundary case.
+	const k = 8
+	var addrs []int32
+	for rep := 0; rep < 50; rep++ {
+		for a := int32(0); a < k; a++ {
+			addrs = append(addrs, a)
+		}
+	}
+	p := Analyze(addrs)
+	if p.Cold() != k {
+		t.Fatalf("cold = %d, want %d", p.Cold(), k)
+	}
+	coldFrac := float64(k) / float64(len(addrs))
+	if got := p.MissRatio(k); math.Abs(got-coldFrac) > 1e-9 {
+		t.Fatalf("MissRatio(%d) = %v, want only cold misses %v", k, got, coldFrac)
+	}
+	if got := p.MissRatio(k - 1); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("MissRatio(%d) = %v, want 1.0", k-1, got)
+	}
+}
+
+func TestImmediateReuse(t *testing.T) {
+	addrs := []int32{5, 5, 5, 5}
+	p := Analyze(addrs)
+	if got := p.MissRatio(1); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("MissRatio(1) = %v, want 0.25 (one cold access)", got)
+	}
+}
+
+func TestSequentialStreamAlwaysMisses(t *testing.T) {
+	addrs := make([]int32, 1000)
+	for i := range addrs {
+		addrs[i] = int32(i)
+	}
+	p := Analyze(addrs)
+	if got := p.MissRatio(64); got != 1.0 {
+		t.Fatalf("streaming MissRatio = %v, want 1.0", got)
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	// Sliding-window trace: each access reuses a mix of near and far
+	// history; miss ratio must be non-increasing in size.
+	var addrs []int32
+	for i := 0; i < 2000; i++ {
+		addrs = append(addrs, int32(i), int32(i/2), int32(i%37))
+	}
+	p := Analyze(addrs)
+	prev := 2.0
+	for _, s := range []int64{1, 2, 4, 8, 16, 64, 256, 1024, 4096} {
+		m := p.MissRatio(s)
+		if m > prev+1e-12 {
+			t.Fatalf("miss ratio increased at size %d: %v -> %v", s, prev, m)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("miss ratio %v out of range", m)
+		}
+		prev = m
+	}
+}
+
+func TestMissRatioEdgeSizes(t *testing.T) {
+	p := Analyze([]int32{1, 2, 1, 2})
+	if p.MissRatio(0) != 1.0 {
+		t.Fatal("size 0 should always miss")
+	}
+	if p.MissRatio(1<<30) > p.MissRatio(2) {
+		t.Fatal("clamped huge size worse than small size")
+	}
+}
+
+// naiveStackDistance recomputes miss counts with an O(n²) reference LRU.
+func naiveMissRatio(addrs []int32, size int) float64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	var lru []int32
+	misses := 0
+	for _, a := range addrs {
+		found := -1
+		for i, v := range lru {
+			if v == a {
+				found = i
+				break
+			}
+		}
+		if found < 0 || found >= size {
+			misses++
+		}
+		if found >= 0 {
+			lru = append(lru[:found], lru[found+1:]...)
+		}
+		lru = append([]int32{a}, lru...)
+	}
+	return float64(misses) / float64(len(addrs))
+}
+
+// Property: the Fenwick analysis agrees with a naive LRU simulation.
+func TestQuickMatchesNaiveLRU(t *testing.T) {
+	f := func(raw []byte, sizeSeed uint8) bool {
+		addrs := make([]int32, len(raw))
+		for i, b := range raw {
+			addrs[i] = int32(b % 16)
+		}
+		size := int(sizeSeed)%12 + 1
+		p := Analyze(addrs)
+		got := p.MissRatio(int64(size))
+		want := naiveMissRatio(addrs, size)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func imageSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	b := spec.NewBuilder("img")
+	b.Group("image", 1024*1024, 8)
+	b.Group("small", 256, 8)
+	b.Loop("body", 1000)
+	r1 := b.Read("image", 1)
+	r2 := b.Read("image", 1)
+	r3 := b.Read("image", 0.5)
+	b.Read("small", 1, r1, r2, r3)
+	b.Loop("input", 1)
+	b.Write("image", 1024*1024)
+	return b.MustBuild()
+}
+
+func TestPlanAndApplyTwoLayers(t *testing.T) {
+	s := imageSpec(t)
+	// Synthetic profile: cyclic over 64 addresses gives miss boundary 64.
+	var addrs []int32
+	for rep := 0; rep < 100; rep++ {
+		for a := int32(0); a < 64; a++ {
+			addrs = append(addrs, a)
+		}
+	}
+	prof := Analyze(addrs)
+	h, err := Plan("image", []Layer{{"ylocal", 12}, {"yhier", 128}}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MissRatios[0] <= h.MissRatios[1] {
+		t.Fatalf("inner layer should miss more: %v", h.MissRatios)
+	}
+	out, err := Apply(s, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads redirected: ylocal carries the original 2.5 reads/iter.
+	if got := out.AccessesPerFrame("ylocal"); got == 0 {
+		t.Fatal("no accesses on inner layer")
+	}
+	ylocalReads := float64(out.AccessesPerFrame("ylocal"))
+	// ylocal gets 2.5 redirected reads + copy writes at miss(12)=1.0:
+	// 2.5 + 2.5 = 5 per iter → 5000.
+	if math.Abs(ylocalReads-5000) > 1 {
+		t.Fatalf("ylocal accesses = %v, want ~5000", ylocalReads)
+	}
+	// Backing image: input writes + copy reads at miss(128 -> clamp 64
+	// boundary): miss(128) counts only cold ≈ 64/6400 = 1%.
+	imgAcc := float64(out.AccessesPerFrame("image"))
+	want := 1024*1024 + 2.5*0.01*1000
+	if math.Abs(imgAcc-want)/want > 0.05 {
+		t.Fatalf("image accesses = %v, want ~%v", imgAcc, want)
+	}
+	// Original spec untouched.
+	if _, ok := s.Group("ylocal"); ok {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplySingleLayer(t *testing.T) {
+	s := imageSpec(t)
+	var addrs []int32
+	for rep := 0; rep < 10; rep++ {
+		for a := int32(0); a < 16; a++ {
+			addrs = append(addrs, a)
+		}
+	}
+	prof := Analyze(addrs)
+	h, err := Plan("image", []Layer{{"buf", 32}}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(s, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := out.Group("buf")
+	if !ok || g.Words != 32 || g.Bits != 8 {
+		t.Fatalf("buf group = %+v, %v", g, ok)
+	}
+	// miss(32) on a 16-cycle trace = cold only = 16/160 = 10%.
+	// image copy reads = 2.5 × 0.1 × 1000 = 250 + 1M input writes.
+	imgAcc := out.AccessesPerFrame("image")
+	if imgAcc < 1024*1024+200 || imgAcc > 1024*1024+300 {
+		t.Fatalf("image accesses = %d, want 1M + ~250", imgAcc)
+	}
+}
+
+func TestApplyNoHierarchyIsClone(t *testing.T) {
+	s := imageSpec(t)
+	h := &Hierarchy{Array: "image"}
+	out, err := Apply(s, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalAccesses() != s.TotalAccesses() {
+		t.Fatal("no-hierarchy apply changed the spec")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	prof := Analyze([]int32{1, 2, 3})
+	if _, err := Plan("x", []Layer{{"a", 64}, {"b", 32}}, prof); err == nil {
+		t.Fatal("non-increasing layer sizes accepted")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := imageSpec(t)
+	prof := Analyze([]int32{1, 2, 3})
+	h, err := Plan("ghost", []Layer{{"a", 64}}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(s, h, 8); err == nil {
+		t.Fatal("unknown array accepted")
+	}
+	h2, _ := Plan("image", []Layer{{"small", 64}}, prof)
+	if _, err := Apply(s, h2, 8); err == nil {
+		t.Fatal("layer name collision accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	h := &Hierarchy{Array: "image"}
+	if h.Describe() != "image: no hierarchy" {
+		t.Fatalf("Describe = %q", h.Describe())
+	}
+	h2 := &Hierarchy{
+		Array:      "image",
+		Layers:     []Layer{{"ylocal", 12}, {"yhier", 5120}},
+		MissRatios: []float64{0.4, 0.05},
+	}
+	d := h2.Describe()
+	if d == "" || d == "image: no hierarchy" {
+		t.Fatalf("Describe = %q", d)
+	}
+}

@@ -1,0 +1,764 @@
+// Package sbd implements the storage cycle budget distribution step (§4.5):
+// deciding, for every loop body, in which storage cycle each memory access
+// executes, such that the real-time cycle budget is met with the cheapest
+// possible memory bandwidth.
+//
+// The package follows the published flow-graph balancing technique
+// (Wuytack et al., "Minimizing the required memory bandwidth in VLSI system
+// realizations") extended — as the paper's prototype tool was — to loops:
+//
+//   - Within one loop body, every access gets a cycle inside its ASAP/ALAP
+//     window. Accesses to large (off-chip) arrays occupy several cycles.
+//     Accesses that overlap in time create conflicts: same-group overlaps
+//     force multiport memories, cross-group overlaps force the groups into
+//     different memories (or more ports). Balancing searches for the
+//     schedule with the cheapest conflict structure.
+//   - Across loops, the frame-level storage cycle budget is distributed:
+//     every loop body has a conflict-cost-versus-budget curve, and a
+//     marginal-gain allocator spends the global budget where it buys the
+//     largest cost reduction. Because giving a body one extra cycle costs
+//     (iterations) cycles of global budget, budget changes come in
+//     whole-loop quanta — the paper's ~300k-cycle jumps in Table 3.
+//
+// The output is the set of conflict patterns (which groups are accessed
+// simultaneously, how often), which constrains the memory allocation and
+// assignment step.
+package sbd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/spec"
+)
+
+// Params configures the balancer and the cost model it optimizes.
+type Params struct {
+	// OnChipMaxWords separates on-chip from off-chip groups for the access
+	// duration and penalty models. Default 64Ki.
+	OnChipMaxWords int64
+	// OffChipCycles is the duration of one off-chip access in storage
+	// cycles (an EDO DRAM access spans multiple 20 MHz cycles). Default 2.
+	OffChipCycles int
+	// Passes bounds the local-search improvement passes. Default 4.
+	Passes int
+	// StructuralWeight scales the iteration-independent conflict term (see
+	// StructuralWeight constant). Negative disables it; zero selects the
+	// default.
+	StructuralWeight float64
+	// Pipelined enables software pipelining (modulo scheduling): the
+	// per-iteration budget becomes an initiation interval, successive
+	// iterations overlap, and occupancy wraps around the interval. This
+	// extension lets the budget drop below the dependence critical path —
+	// the regime where the paper's Table 3 shows the off-chip organization
+	// getting more expensive at the tightest budget.
+	Pipelined bool
+}
+
+func (p *Params) normalize() {
+	if p.OnChipMaxWords == 0 {
+		p.OnChipMaxWords = 64 * 1024
+	}
+	if p.OffChipCycles == 0 {
+		p.OffChipCycles = 2
+	}
+	if p.Passes == 0 {
+		p.Passes = 4
+	}
+	if p.StructuralWeight == 0 {
+		p.StructuralWeight = StructuralWeight
+	} else if p.StructuralWeight < 0 {
+		p.StructuralWeight = 0
+	}
+}
+
+// Duration returns the number of storage cycles one access to g occupies.
+func (p Params) Duration(g spec.BasicGroup) int {
+	if g.Words > p.OnChipMaxWords {
+		return p.OffChipCycles
+	}
+	return 1
+}
+
+// offChip reports whether g lives off-chip under these parameters.
+func (p Params) offChip(g spec.BasicGroup) bool { return g.Words > p.OnChipMaxWords }
+
+// proxy is the conflict-cost size proxy of a group: conflicts on bigger
+// arrays are costlier to resolve (bigger memories, pricier extra ports).
+func proxy(g spec.BasicGroup) float64 { return math.Sqrt(float64(g.BitSize())) }
+
+// selfPenalty prices one unit of same-group overlap (each overlapping
+// access beyond the first, per body execution).
+func (p Params) selfPenalty(g spec.BasicGroup) float64 {
+	if p.offChip(g) {
+		return 20 * proxy(g)
+	}
+	return proxy(g)
+}
+
+// pairPenalty prices one co-scheduled pair of distinct groups of the same
+// kind (it restricts assignment freedom). Cross-kind overlap is free: an
+// on-chip and an off-chip access never compete for a memory.
+func (p Params) pairPenalty(g, h spec.BasicGroup) float64 {
+	if p.offChip(g) != p.offChip(h) {
+		return 0
+	}
+	base := 0.05 * (proxy(g) + proxy(h)) / 2
+	if p.offChip(g) {
+		base *= 4 // parallel off-chip buses are expensive
+	}
+	return base
+}
+
+// Pattern is one distinct parallel-access situation: the multiset of groups
+// accessed in the same storage cycle, and how many times per frame that
+// cycle executes.
+type Pattern struct {
+	Access map[string]int // group -> simultaneous accesses
+	Weight uint64         // executions per frame
+}
+
+// key returns a canonical identity for merging.
+func (pt Pattern) key() string {
+	names := make([]string, 0, len(pt.Access))
+	for n := range pt.Access {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s:%d;", n, pt.Access[n])
+	}
+	return b.String()
+}
+
+// StructuralWeight converts a schedule's structural conflict severity (the
+// multiplicities it forces, regardless of how often the loop runs) into
+// cost units comparable with the iteration-weighted occurrence cost. It is
+// what makes the budget distributor de-conflict rarely-executed loops too:
+// a memory's port count is the maximum over *all* loops, however cold.
+const StructuralWeight = 200_000
+
+// LoopSchedule is the balanced schedule of one loop body.
+type LoopSchedule struct {
+	Loop   string
+	Budget int   // per-iteration storage cycle budget
+	Start  []int // access ID -> start cycle
+	// WeightedCost is the occurrence conflict cost × loop iterations;
+	// StructuralCost prices the worst per-group multiplicity the schedule
+	// forces, independent of iterations. Cost is their sum.
+	WeightedCost   float64
+	StructuralCost float64
+	Cost           float64
+}
+
+// groupsOf indexes the spec's groups by name.
+func groupsOf(s *spec.Spec) map[string]spec.BasicGroup {
+	m := make(map[string]spec.BasicGroup, len(s.Groups))
+	for _, g := range s.Groups {
+		m[g.Name] = g
+	}
+	return m
+}
+
+// cycleOcc is the occupancy of one storage cycle, split by conditional
+// branch: accesses under different branch tags are mutually exclusive, so a
+// cycle's effective access pattern is the common part plus one branch.
+type cycleOcc struct {
+	common map[string]int            // unconditional accesses
+	branch map[string]map[string]int // branch tag -> accesses
+}
+
+func newCycleOcc() *cycleOcc {
+	return &cycleOcc{common: make(map[string]int)}
+}
+
+func (o *cycleOcc) bucket(branch string) map[string]int {
+	if branch == "" {
+		return o.common
+	}
+	if o.branch == nil {
+		o.branch = make(map[string]map[string]int)
+	}
+	m := o.branch[branch]
+	if m == nil {
+		m = make(map[string]int)
+		o.branch[branch] = m
+	}
+	return m
+}
+
+// scenarios calls fn with every effective access pattern of the cycle:
+// common-only when no branch is active, otherwise common ⊎ each branch
+// (the common-only pattern is pointwise-dominated by those).
+func (o *cycleOcc) scenarios(fn func(m map[string]int)) {
+	active := 0
+	for _, m := range o.branch {
+		if len(m) > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		if len(o.common) > 0 {
+			fn(o.common)
+		}
+		return
+	}
+	merged := make(map[string]int, len(o.common)+4)
+	for _, bm := range o.branch {
+		if len(bm) == 0 {
+			continue
+		}
+		for g := range merged {
+			delete(merged, g)
+		}
+		for g, k := range o.common {
+			merged[g] = k
+		}
+		for g, k := range bm {
+			merged[g] += k
+		}
+		fn(merged)
+	}
+}
+
+// scheduler is the working state for balancing one loop body. In linear
+// mode the occupancy table spans the budget; in pipelined (modulo) mode it
+// spans one initiation interval and accesses wrap around it.
+type scheduler struct {
+	l      *spec.Loop
+	groups map[string]spec.BasicGroup
+	p      Params
+	budget int   // linear budget, or the initiation interval when pipelined
+	dur    []int // per access
+	start  []int // per access, -1 = unplaced
+	occ    []*cycleOcc
+	succ   [][]int
+	cost   float64
+}
+
+func newScheduler(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) *scheduler {
+	n := len(l.Accesses)
+	s := &scheduler{
+		l: l, groups: groups, p: p, budget: budget,
+		dur:   make([]int, n),
+		start: make([]int, n),
+		occ:   make([]*cycleOcc, budget),
+		succ:  make([][]int, n),
+	}
+	for i := range s.occ {
+		s.occ[i] = newCycleOcc()
+	}
+	for i, a := range l.Accesses {
+		s.dur[i] = p.Duration(groups[a.Group])
+		s.start[i] = -1
+		for _, d := range a.Deps {
+			s.succ[d] = append(s.succ[d], a.ID)
+		}
+	}
+	return s
+}
+
+// patternCost prices one effective access pattern. Same-group overlap is
+// priced superlinearly: every extra port on a memory costs more than the
+// previous one, so the balancer prefers two cycles with doubled accesses
+// over one cycle with quadrupled accesses.
+func (s *scheduler) patternCost(m map[string]int) float64 {
+	var c float64
+	names := make([]string, 0, len(m))
+	for g, k := range m {
+		if k > 1 {
+			c += float64((k-1)*(k-1)) * s.p.selfPenalty(s.groups[g])
+		}
+		names = append(names, g)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			c += s.p.pairPenalty(s.groups[names[i]], s.groups[names[j]])
+		}
+	}
+	return c
+}
+
+// cycleCost prices one cycle: the worst case over its branch scenarios.
+func (s *scheduler) cycleCost(o *cycleOcc) float64 {
+	worst := 0.0
+	o.scenarios(func(m map[string]int) {
+		if c := s.patternCost(m); c > worst {
+			worst = c
+		}
+	})
+	return worst
+}
+
+// slot maps an absolute cycle to an occupancy slot: identity in linear
+// mode, modulo the initiation interval when pipelined.
+func (s *scheduler) slot(k int) int {
+	if s.p.Pipelined {
+		return k % s.budget
+	}
+	return k
+}
+
+// place puts access id at cycle c, updating occupancy and cost.
+func (s *scheduler) place(id, c int) {
+	a := &s.l.Accesses[id]
+	for k := c; k < c+s.dur[id]; k++ {
+		o := s.occ[s.slot(k)]
+		s.cost -= s.cycleCost(o)
+		o.bucket(a.Branch)[a.Group]++
+		s.cost += s.cycleCost(o)
+	}
+	s.start[id] = c
+}
+
+// unplace removes access id from the schedule.
+func (s *scheduler) unplace(id int) {
+	a := &s.l.Accesses[id]
+	c := s.start[id]
+	for k := c; k < c+s.dur[id]; k++ {
+		o := s.occ[s.slot(k)]
+		s.cost -= s.cycleCost(o)
+		m := o.bucket(a.Branch)
+		if m[a.Group]--; m[a.Group] == 0 {
+			delete(m, a.Group)
+		}
+		s.cost += s.cycleCost(o)
+	}
+	s.start[id] = -1
+}
+
+// trialCost returns the cost after hypothetically placing id at c.
+func (s *scheduler) trialCost(id, c int) float64 {
+	s.place(id, c)
+	v := s.cost
+	s.unplace(id)
+	return v
+}
+
+// window returns the feasible start range of id given the current positions
+// of its placed neighbours (deps must finish first, successors must be
+// startable after).
+func (s *scheduler) window(id int, asap, alap []int) (lo, hi int) {
+	lo, hi = asap[id], alap[id]
+	for _, d := range s.l.Accesses[id].Deps {
+		if s.start[d] >= 0 && s.start[d]+s.dur[d] > lo {
+			lo = s.start[d] + s.dur[d]
+		}
+	}
+	for _, sc := range s.succ[id] {
+		if s.start[sc] >= 0 && s.start[sc]-s.dur[id] < hi {
+			hi = s.start[sc] - s.dur[id]
+		}
+	}
+	return lo, hi
+}
+
+// pipelinedWindows computes the start windows for modulo scheduling: ASAP
+// from the dependences, one initiation interval of slack for each access.
+func pipelinedWindows(l *spec.Loop, dur []int, ii int) (asap, alap []int) {
+	n := len(l.Accesses)
+	asap = make([]int, n)
+	alap = make([]int, n)
+	for _, id := range dfg.TopoOrder(l) {
+		st := 0
+		for _, d := range l.Accesses[id].Deps {
+			if f := asap[d] + dur[d]; f > st {
+				st = f
+			}
+		}
+		asap[id] = st
+		alap[id] = st + ii - 1
+	}
+	return asap, alap
+}
+
+// asapAlap computes duration-weighted start windows; returns an error when
+// the budget is below the duration-weighted critical path.
+func asapAlap(l *spec.Loop, dur []int, budget int) (asap, alap []int, err error) {
+	n := len(l.Accesses)
+	asap = make([]int, n)
+	alap = make([]int, n)
+	order := dfg.TopoOrder(l)
+	for _, id := range order {
+		st := 0
+		for _, d := range l.Accesses[id].Deps {
+			if f := asap[d] + dur[d]; f > st {
+				st = f
+			}
+		}
+		asap[id] = st
+	}
+	succ := make([][]int, n)
+	for _, a := range l.Accesses {
+		for _, d := range a.Deps {
+			succ[d] = append(succ[d], a.ID)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		la := budget - dur[id]
+		for _, sc := range succ[id] {
+			if v := alap[sc] - dur[id]; v < la {
+				la = v
+			}
+		}
+		alap[id] = la
+		if la < asap[id] {
+			return nil, nil, fmt.Errorf("sbd: loop %q: budget %d below weighted critical path",
+				l.Name, budget)
+		}
+	}
+	return asap, alap, nil
+}
+
+// WeightedCP returns the duration-weighted critical path of the loop body:
+// its minimum feasible per-iteration budget.
+func WeightedCP(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) int {
+	p.normalize()
+	longest := 0
+	finish := make([]int, len(l.Accesses))
+	for _, id := range dfg.TopoOrder(l) {
+		st := 0
+		for _, d := range l.Accesses[id].Deps {
+			if finish[d] > st {
+				st = finish[d]
+			}
+		}
+		finish[id] = st + p.Duration(groups[l.Accesses[id].Group])
+		if finish[id] > longest {
+			longest = finish[id]
+		}
+	}
+	return longest
+}
+
+// BalanceLoop schedules one loop body within the given per-iteration budget
+// (the initiation interval when pipelining is enabled) and returns the
+// schedule with its conflict cost (already weighted by the loop's iteration
+// count).
+func BalanceLoop(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) (*LoopSchedule, error) {
+	p.normalize()
+	if len(l.Accesses) == 0 {
+		return &LoopSchedule{Loop: l.Name, Budget: budget}, nil
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("sbd: loop %q: budget %d out of range", l.Name, budget)
+	}
+	s := newScheduler(l, groups, budget, p)
+	var asap, alap []int
+	var err error
+	if p.Pipelined {
+		// Modulo scheduling: dependences define the earliest starts, each
+		// access gets one initiation interval of slack, and occupancy wraps.
+		asap, alap = pipelinedWindows(l, s.dur, budget)
+	} else {
+		asap, alap, err = asapAlap(l, s.dur, budget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Initial placement: topological order, cheapest feasible cycle
+	// (earliest on ties keeps the schedule compact and deterministic).
+	for _, id := range dfg.TopoOrder(l) {
+		lo, hi := s.window(id, asap, alap)
+		bestC, bestV := lo, math.Inf(1)
+		for c := lo; c <= hi; c++ {
+			if v := s.trialCost(id, c); v < bestV-1e-12 {
+				bestC, bestV = c, v
+			}
+		}
+		s.place(id, bestC)
+	}
+	// Local search: move single accesses to cheaper cycles until fixpoint.
+	for pass := 0; pass < p.Passes; pass++ {
+		improved := false
+		for id := range l.Accesses {
+			cur := s.start[id]
+			s.unplace(id)
+			lo, hi := s.window(id, asap, alap)
+			bestC, bestV := cur, s.trialCost(id, cur)
+			for c := lo; c <= hi; c++ {
+				if c == cur {
+					continue
+				}
+				if v := s.trialCost(id, c); v < bestV-1e-9 {
+					bestC, bestV = c, v
+				}
+			}
+			s.place(id, bestC)
+			if bestC != cur {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	weighted := s.cost * float64(l.Iterations)
+	structural := s.structuralCost()
+	return &LoopSchedule{
+		Loop:           l.Name,
+		Budget:         budget,
+		Start:          s.start,
+		WeightedCost:   weighted,
+		StructuralCost: structural,
+		Cost:           weighted + structural,
+	}, nil
+}
+
+// structuralCost prices the worst same-group multiplicity each group
+// suffers anywhere in the schedule (superlinearly, like patternCost).
+func (s *scheduler) structuralCost() float64 {
+	maxMult := make(map[string]int)
+	for _, o := range s.occ {
+		o.scenarios(func(m map[string]int) {
+			for g, k := range m {
+				if k > maxMult[g] {
+					maxMult[g] = k
+				}
+			}
+		})
+	}
+	var c float64
+	for g, k := range maxMult {
+		if k > 1 {
+			c += float64((k-1)*(k-1)) * s.p.selfPenalty(s.groups[g]) * s.p.StructuralWeight
+		}
+	}
+	return c
+}
+
+// PatternsOf derives the merged conflict patterns of a set of schedules.
+func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
+	p.normalize()
+	groups := groupsOf(s)
+	byKey := make(map[string]*Pattern)
+	for _, sc := range scheds {
+		var l *spec.Loop
+		for i := range s.Loops {
+			if s.Loops[i].Name == sc.Loop {
+				l = &s.Loops[i]
+				break
+			}
+		}
+		if l == nil || len(l.Accesses) == 0 {
+			continue
+		}
+		occ := make([]*cycleOcc, sc.Budget)
+		for i := range occ {
+			occ[i] = newCycleOcc()
+		}
+		for _, a := range l.Accesses {
+			d := p.Duration(groups[a.Group])
+			for k := sc.Start[a.ID]; k < sc.Start[a.ID]+d; k++ {
+				ki := k
+				if p.Pipelined {
+					ki = k % sc.Budget
+				}
+				occ[ki].bucket(a.Branch)[a.Group]++
+			}
+		}
+		for _, o := range occ {
+			o.scenarios(func(m map[string]int) {
+				if len(m) == 0 {
+					return
+				}
+				pt := Pattern{Access: m, Weight: l.Iterations}
+				k := pt.key()
+				if ex := byKey[k]; ex != nil {
+					ex.Weight += l.Iterations
+				} else {
+					cp := Pattern{Access: make(map[string]int, len(m)), Weight: l.Iterations}
+					for g, c := range m {
+						cp.Access[g] = c
+					}
+					byKey[k] = &cp
+				}
+			})
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Pattern, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// PrunePatterns removes patterns dominated by another pattern (every
+// group's multiplicity ≤ the other's). Dominated patterns never determine a
+// memory's port requirement, so dropping them loses nothing for the
+// allocation step while shrinking its constraint set dramatically.
+func PrunePatterns(pats []Pattern) []Pattern {
+	dominatedBy := func(a, b Pattern) bool { // a ≤ b pointwise
+		for g, k := range a.Access {
+			if b.Access[g] < k {
+				return false
+			}
+		}
+		return true
+	}
+	var out []Pattern
+	for i, a := range pats {
+		dominated := false
+		for j, b := range pats {
+			if i == j {
+				continue
+			}
+			if dominatedBy(a, b) && (!dominatedBy(b, a) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RequiredPorts returns, per group, the maximum simultaneity the schedule
+// imposes on it: the minimum port count of whatever memory it lands in.
+func RequiredPorts(patterns []Pattern) map[string]int {
+	ports := make(map[string]int)
+	for _, pt := range patterns {
+		for g, k := range pt.Access {
+			if k > ports[g] {
+				ports[g] = k
+			}
+		}
+	}
+	return ports
+}
+
+// Distribution is the result of distributing the frame budget over loops.
+type Distribution struct {
+	TotalBudget uint64 // the budget that was offered
+	Used        uint64 // Σ budget_l × iterations_l actually committed
+	Loops       []*LoopSchedule
+	Patterns    []Pattern
+	Cost        float64 // Σ weighted conflict costs
+}
+
+// ExtraCycles returns the cycles left over for data-path scheduling — the
+// quantity the paper's Table 3 reports ("extra cycles for data-path").
+func (d *Distribution) ExtraCycles() uint64 { return d.TotalBudget - d.Used }
+
+// Distribute allocates the global storage cycle budget over the loop bodies
+// and balances each, minimizing total conflict cost. It fails if the budget
+// is below the specification's duration-weighted MACP (then only loop
+// transformations can help, §4.2).
+func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, error) {
+	p.normalize()
+	groups := groupsOf(s)
+
+	type curve struct {
+		loop   *spec.Loop
+		min    int             // weighted critical path
+		max    int             // budget beyond which cost is zero anyway
+		scheds []*LoopSchedule // index: budget - min
+		chosen int             // index into scheds
+	}
+	curves := make([]*curve, 0, len(s.Loops))
+	var minTotal uint64
+	for i := range s.Loops {
+		l := &s.Loops[i]
+		if len(l.Accesses) == 0 {
+			continue
+		}
+		cv := &curve{loop: l, min: WeightedCP(l, groups, p)}
+		if p.Pipelined {
+			// Modulo scheduling: the initiation interval may drop below the
+			// critical path, down to the longest single access.
+			cv.min = 1
+			for _, a := range l.Accesses {
+				if d := p.Duration(groups[a.Group]); d > cv.min {
+					cv.min = d
+				}
+			}
+		}
+		// Past Σ durations the trivially serial schedule is conflict-free.
+		sumDur := 0
+		for _, a := range l.Accesses {
+			sumDur += p.Duration(groups[a.Group])
+		}
+		cv.max = sumDur
+		if cv.max < cv.min {
+			cv.max = cv.min
+		}
+		minTotal += uint64(cv.min) * l.Iterations
+		curves = append(curves, cv)
+	}
+	if minTotal > totalBudget {
+		return nil, fmt.Errorf(
+			"sbd: budget %d below weighted MACP %d; apply loop transformations first",
+			totalBudget, minTotal)
+	}
+	// Build cost curves lazily up to max, then monotonize: a schedule found
+	// at a smaller budget is valid (and committed) at any larger one.
+	for _, cv := range curves {
+		for b := cv.min; b <= cv.max; b++ {
+			sc, err := BalanceLoop(cv.loop, groups, b, p)
+			if err != nil {
+				return nil, err
+			}
+			cv.scheds = append(cv.scheds, sc)
+			if sc.Cost == 0 {
+				cv.max = b // no point in exploring looser budgets
+				break
+			}
+		}
+		for j := 1; j < len(cv.scheds); j++ {
+			if cv.scheds[j].Cost >= cv.scheds[j-1].Cost {
+				cv.scheds[j] = cv.scheds[j-1]
+			}
+		}
+	}
+	remaining := totalBudget - minTotal
+	// Marginal-gain allocation with look-ahead (the cost curves need not be
+	// convex): repeatedly advance the loop whose next profitable curve
+	// point buys the largest cost reduction per global cycle spent.
+	for {
+		best, bestJ := -1, 0
+		bestRatio := 0.0
+		for i, cv := range curves {
+			for j := cv.chosen + 1; j < len(cv.scheds); j++ {
+				spend := uint64(j-cv.chosen) * cv.loop.Iterations
+				if spend > remaining {
+					break
+				}
+				gain := cv.scheds[cv.chosen].Cost - cv.scheds[j].Cost
+				if gain <= 0 {
+					continue
+				}
+				ratio := gain / float64(spend)
+				if ratio > bestRatio+1e-12 {
+					best, bestJ, bestRatio = i, j, ratio
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		remaining -= uint64(bestJ-curves[best].chosen) * curves[best].loop.Iterations
+		curves[best].chosen = bestJ
+	}
+
+	d := &Distribution{TotalBudget: totalBudget}
+	for _, cv := range curves {
+		sc := cv.scheds[cv.chosen]
+		d.Loops = append(d.Loops, sc)
+		d.Used += uint64(sc.Budget) * cv.loop.Iterations
+		d.Cost += sc.Cost
+	}
+	d.Patterns = PatternsOf(s, d.Loops, p)
+	return d, nil
+}

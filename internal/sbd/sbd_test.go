@@ -1,0 +1,601 @@
+package sbd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+// offWords is comfortably above the default on-chip limit.
+const offWords = 1024 * 1024
+
+// fanInSpec models the BTPC hot body shape: nReads independent off-chip
+// reads feeding a chain of tail on-chip accesses.
+func fanInSpec(t *testing.T, nReads, tailLen int, iters uint64) *spec.Spec {
+	t.Helper()
+	b := spec.NewBuilder("fanin")
+	b.Group("big", offWords, 8)
+	b.Group("small", 256, 8)
+	b.Loop("hot", iters)
+	reads := make([]int, nReads)
+	for i := range reads {
+		reads[i] = b.Read("big", 1)
+	}
+	prev := b.Read("small", 1, reads...)
+	for i := 1; i < tailLen; i++ {
+		prev = b.Read("small", 1, prev)
+	}
+	return b.MustBuild()
+}
+
+func groupsMap(s *spec.Spec) map[string]spec.BasicGroup {
+	m := make(map[string]spec.BasicGroup)
+	for _, g := range s.Groups {
+		m[g.Name] = g
+	}
+	return m
+}
+
+func TestWeightedCPDurations(t *testing.T) {
+	s := fanInSpec(t, 4, 5, 1)
+	// Off-chip read (2 cycles) then 5-cycle on-chip chain.
+	if cp := WeightedCP(&s.Loops[0], groupsMap(s), Params{}); cp != 7 {
+		t.Fatalf("weighted CP = %d, want 7", cp)
+	}
+}
+
+func TestBalanceRespectsDepsAndBudget(t *testing.T) {
+	s := fanInSpec(t, 5, 8, 1)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	p := Params{}
+	p.normalize()
+	for _, budget := range []int{WeightedCP(l, g, p), 14, 18, 25} {
+		sc, err := BalanceLoop(l, g, budget, p)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		for _, a := range l.Accesses {
+			st := sc.Start[a.ID]
+			d := p.Duration(g[a.Group])
+			if st < 0 || st+d > budget {
+				t.Fatalf("budget %d: access %d at %d dur %d outside budget", budget, a.ID, st, d)
+			}
+			for _, dep := range a.Deps {
+				dd := p.Duration(g[l.Accesses[dep].Group])
+				if sc.Start[dep]+dd > st {
+					t.Fatalf("budget %d: access %d (start %d) begins before dep %d finishes (%d)",
+						budget, a.ID, st, dep, sc.Start[dep]+dd)
+				}
+			}
+		}
+	}
+}
+
+func TestBalanceBudgetBelowCPFails(t *testing.T) {
+	s := fanInSpec(t, 4, 5, 1)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	if _, err := BalanceLoop(l, g, 6, Params{}); err == nil {
+		t.Fatal("budget below weighted CP accepted")
+	}
+}
+
+func TestTightBudgetForcesOffChipOverlap(t *testing.T) {
+	// 5 independent 2-cycle off-chip reads must finish before a 10-cycle
+	// tail. At the critical-path budget (12) the reads overlap each other;
+	// with enough slack they serialize and the big array needs one port.
+	s := fanInSpec(t, 5, 10, 1)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	p := Params{}
+	p.normalize()
+
+	tight, err := BalanceLoop(l, g, 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightPorts := RequiredPorts(PatternsOf(s, []*LoopSchedule{tight}, p))
+	if tightPorts["big"] < 2 {
+		t.Fatalf("tight budget: big needs %d ports, want >= 2", tightPorts["big"])
+	}
+
+	loose, err := BalanceLoop(l, g, 22, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loosePorts := RequiredPorts(PatternsOf(s, []*LoopSchedule{loose}, p))
+	if loosePorts["big"] != 1 {
+		t.Fatalf("loose budget: big needs %d ports, want 1", loosePorts["big"])
+	}
+	if loose.Cost >= tight.Cost {
+		t.Fatalf("loose cost %.1f not below tight cost %.1f", loose.Cost, tight.Cost)
+	}
+}
+
+func TestCostWeightedByIterations(t *testing.T) {
+	s1 := fanInSpec(t, 5, 10, 1)
+	s2 := fanInSpec(t, 5, 10, 1000)
+	g := groupsMap(s1)
+	p := Params{}
+	a, err := BalanceLoop(&s1.Loops[0], g, 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BalanceLoop(&s2.Loops[0], g, 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WeightedCost < 900*a.WeightedCost || b.WeightedCost > 1100*a.WeightedCost {
+		t.Fatalf("iteration weighting broken: %v vs %v", a.WeightedCost, b.WeightedCost)
+	}
+	// The structural part is iteration-independent by design.
+	if a.StructuralCost != b.StructuralCost {
+		t.Fatalf("structural cost depends on iterations: %v vs %v",
+			a.StructuralCost, b.StructuralCost)
+	}
+	if a.Cost != a.WeightedCost+a.StructuralCost {
+		t.Fatal("Cost != WeightedCost + StructuralCost")
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	l := &spec.Loop{Name: "empty", Iterations: 5}
+	sc, err := BalanceLoop(l, nil, 3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cost != 0 || len(sc.Start) != 0 {
+		t.Fatalf("empty loop schedule = %+v", sc)
+	}
+}
+
+func TestPatternsMergeAndWeights(t *testing.T) {
+	b := spec.NewBuilder("pat")
+	b.Group("a", 64, 8).Group("b", 64, 8)
+	b.Loop("l", 100)
+	b.Read("a", 1)
+	b.Read("b", 1)
+	s := b.MustBuild()
+	g := groupsMap(s)
+	p := Params{}
+	p.normalize()
+	// Budget 1 forces both accesses into the same (only) cycle.
+	sc, err := BalanceLoop(&s.Loops[0], g, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := PatternsOf(s, []*LoopSchedule{sc}, p)
+	if len(pats) != 1 {
+		t.Fatalf("%d patterns, want 1", len(pats))
+	}
+	if pats[0].Weight != 100 || pats[0].Access["a"] != 1 || pats[0].Access["b"] != 1 {
+		t.Fatalf("pattern = %+v", pats[0])
+	}
+}
+
+func TestRequiredPorts(t *testing.T) {
+	pats := []Pattern{
+		{Access: map[string]int{"a": 2, "b": 1}, Weight: 10},
+		{Access: map[string]int{"a": 1, "c": 3}, Weight: 5},
+	}
+	ports := RequiredPorts(pats)
+	if ports["a"] != 2 || ports["b"] != 1 || ports["c"] != 3 {
+		t.Fatalf("ports = %v", ports)
+	}
+}
+
+func TestDistributeInfeasible(t *testing.T) {
+	s := fanInSpec(t, 4, 5, 1000)
+	// Weighted MACP = 7 * 1000.
+	if _, err := Distribute(s, 6999, Params{}); err == nil {
+		t.Fatal("budget below MACP accepted")
+	}
+	if _, err := Distribute(s, 7000, Params{}); err != nil {
+		t.Fatalf("budget at MACP rejected: %v", err)
+	}
+}
+
+func TestDistributeSpendsWhereItHelps(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 1000)
+	// Generous budget: the hot loop should be relaxed until conflict-free.
+	d, err := Distribute(s, 40_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost != 0 {
+		t.Fatalf("generous budget left cost %.1f, want 0", d.Cost)
+	}
+	if d.Used > d.TotalBudget {
+		t.Fatalf("used %d exceeds budget %d", d.Used, d.TotalBudget)
+	}
+	if d.ExtraCycles() != d.TotalBudget-d.Used {
+		t.Fatal("ExtraCycles inconsistent")
+	}
+	// Tight budget: cost must be higher.
+	dt, err := Distribute(s, 12_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Cost <= d.Cost {
+		t.Fatalf("tight budget cost %.1f not above generous %.1f", dt.Cost, d.Cost)
+	}
+}
+
+func TestDistributeCostMonotoneInBudget(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 100)
+	prev := -1.0
+	for _, b := range []uint64{1200, 1400, 1600, 2000, 2600} {
+		d, err := Distribute(s, b, Params{})
+		if err != nil {
+			t.Fatalf("budget %d: %v", b, err)
+		}
+		if prev >= 0 && d.Cost > prev+1e-9 {
+			t.Fatalf("cost increased with budget: %.2f -> %.2f at %d", prev, d.Cost, b)
+		}
+		prev = d.Cost
+	}
+}
+
+func TestDistributeUsedQuantizedByIterations(t *testing.T) {
+	// Two loops with different iteration counts: budget commitments move in
+	// whole-loop quanta (the paper's ~300k jumps).
+	b := spec.NewBuilder("quanta")
+	b.Group("big", offWords, 8)
+	b.Group("small", 256, 8)
+	b.Loop("hot", 300_000)
+	r1 := b.Read("big", 1)
+	r2 := b.Read("big", 1)
+	b.Read("small", 1, r1, r2)
+	b.Loop("cold", 1000)
+	c1 := b.Read("big", 1)
+	b.Read("small", 1, c1)
+	s := b.MustBuild()
+
+	d, err := Distribute(s, 3_000_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Used must decompose into hot*300000 + cold*1000 with integer budgets.
+	var hot, cold uint64
+	for _, l := range d.Loops {
+		switch l.Loop {
+		case "hot":
+			hot = uint64(l.Budget)
+		case "cold":
+			cold = uint64(l.Budget)
+		}
+	}
+	if d.Used != hot*300_000+cold*1000 {
+		t.Fatalf("used %d != %d*300000 + %d*1000", d.Used, hot, cold)
+	}
+}
+
+func TestPrunePatterns(t *testing.T) {
+	pats := []Pattern{
+		{Access: map[string]int{"a": 1}, Weight: 5},
+		{Access: map[string]int{"a": 1, "b": 1}, Weight: 3},
+		{Access: map[string]int{"a": 2}, Weight: 1},
+		{Access: map[string]int{"a": 1}, Weight: 9}, // duplicate of first
+	}
+	out := PrunePatterns(pats)
+	if len(out) != 2 {
+		t.Fatalf("pruned to %d patterns, want 2: %v", len(out), out)
+	}
+	// Port requirements must be identical before and after pruning.
+	before := RequiredPorts(pats)
+	after := RequiredPorts(out)
+	for g, p := range before {
+		if after[g] != p {
+			t.Fatalf("pruning changed ports for %s: %d -> %d", g, p, after[g])
+		}
+	}
+}
+
+func TestDurationModel(t *testing.T) {
+	p := Params{}
+	p.normalize()
+	on := spec.BasicGroup{Name: "s", Words: 256, Bits: 8}
+	off := spec.BasicGroup{Name: "b", Words: offWords, Bits: 8}
+	if p.Duration(on) != 1 {
+		t.Fatalf("on-chip duration = %d", p.Duration(on))
+	}
+	if p.Duration(off) != 2 {
+		t.Fatalf("off-chip duration = %d", p.Duration(off))
+	}
+}
+
+func TestPenaltiesOrdering(t *testing.T) {
+	p := Params{}
+	p.normalize()
+	small := spec.BasicGroup{Name: "s", Words: 256, Bits: 8}
+	big := spec.BasicGroup{Name: "b", Words: offWords, Bits: 8}
+	if p.selfPenalty(big) <= p.selfPenalty(small) {
+		t.Fatal("off-chip self conflict must cost more than on-chip")
+	}
+	if p.pairPenalty(small, big) != 0 {
+		t.Fatal("cross-kind pair conflict should be free")
+	}
+	if p.pairPenalty(small, small) <= 0 || p.pairPenalty(big, big) <= 0 {
+		t.Fatal("same-kind pair conflicts must cost something")
+	}
+}
+
+// bruteForceBalance enumerates every dependence-feasible schedule of a tiny
+// loop body and returns the minimal total cost (weighted + structural).
+func bruteForceBalance(t *testing.T, l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) float64 {
+	t.Helper()
+	p.normalize()
+	n := len(l.Accesses)
+	dur := make([]int, n)
+	for i, a := range l.Accesses {
+		dur[i] = p.Duration(groups[a.Group])
+	}
+	starts := make([]int, n)
+	best := -1.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			s := newScheduler(l, groups, budget, p)
+			for id, st := range starts {
+				s.place(id, st)
+			}
+			total := s.cost*float64(l.Iterations) + s.structuralCost()
+			if best < 0 || total < best {
+				best = total
+			}
+			return
+		}
+		lo := 0
+		for _, d := range l.Accesses[i].Deps {
+			if f := starts[d] + dur[d]; f > lo {
+				lo = f
+			}
+		}
+		for c := lo; c+dur[i] <= budget; c++ {
+			starts[i] = c
+			rec(i + 1)
+		}
+	}
+	// Accesses must be enumerated in an order where deps precede
+	// dependents; builder IDs are already topological.
+	rec(0)
+	if best < 0 {
+		t.Fatal("brute force found no feasible schedule")
+	}
+	return best
+}
+
+func TestBalanceNearOptimalOnTinyBodies(t *testing.T) {
+	cases := []func(*spec.Builder){
+		func(b *spec.Builder) { // two same-group reads + chain
+			r1 := b.Read("on", 1)
+			r2 := b.Read("on", 1)
+			b.Read("on2", 1, r1, r2)
+		},
+		func(b *spec.Builder) { // off-chip fan-in
+			r1 := b.Read("off", 1)
+			r2 := b.Read("off", 1)
+			x := b.Read("on", 1, r1, r2)
+			b.Read("on", 1, x)
+		},
+		func(b *spec.Builder) { // independent mix
+			b.Read("on", 1)
+			b.Read("on2", 1)
+			b.Read("off", 1)
+			b.Read("on", 1)
+		},
+	}
+	for ci, build := range cases {
+		b := spec.NewBuilder("tiny")
+		b.Group("on", 128, 8).Group("on2", 256, 16).Group("off", offWords, 8)
+		b.Loop("l", 50)
+		build(b)
+		s := b.MustBuild()
+		g := groupsMap(s)
+		p := Params{}
+		p.normalize()
+		l := &s.Loops[0]
+		for extra := 0; extra <= 3; extra++ {
+			budget := WeightedCP(l, g, p) + extra
+			got, err := BalanceLoop(l, g, budget, p)
+			if err != nil {
+				t.Fatalf("case %d budget %d: %v", ci, budget, err)
+			}
+			want := bruteForceBalance(t, l, g, budget, p)
+			if got.Cost < want-1e-6 {
+				t.Fatalf("case %d budget %d: balancer %.2f below brute force %.2f (accounting bug)",
+					ci, budget, got.Cost, want)
+			}
+			if want > 0 && got.Cost > want*1.5+1e-6 {
+				t.Fatalf("case %d budget %d: balancer %.2f more than 1.5x optimum %.2f",
+					ci, budget, got.Cost, want)
+			}
+			if want == 0 && got.Cost != 0 {
+				t.Fatalf("case %d budget %d: optimum is conflict-free but balancer found %.2f",
+					ci, budget, got.Cost)
+			}
+		}
+	}
+}
+
+func TestPipelinedAllowsBudgetBelowCP(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 1000)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	linear := Params{}
+	linear.normalize()
+	cp := WeightedCP(l, g, linear)
+
+	// Linear scheduling rejects budgets below the critical path…
+	if _, err := BalanceLoop(l, g, cp-3, linear); err == nil {
+		t.Fatal("linear balance accepted budget below CP")
+	}
+	// …modulo scheduling accepts them (iterations overlap).
+	pipe := Params{Pipelined: true}
+	pipe.normalize()
+	sc, err := BalanceLoop(l, g, cp-3, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range l.Accesses {
+		st := sc.Start[a.ID]
+		if st < 0 {
+			t.Fatalf("access %d unplaced", a.ID)
+		}
+		for _, dep := range a.Deps {
+			if sc.Start[dep]+pipe.Duration(g[l.Accesses[dep].Group]) > st {
+				t.Fatalf("pipelined schedule violates dependence %d -> %d", dep, a.ID)
+			}
+		}
+	}
+}
+
+func TestPipelinedTightIIForcesOffChipPorts(t *testing.T) {
+	// The Table 3 extension: pushing the initiation interval well below
+	// the body's serial off-chip demand forces off-chip overlap — the
+	// paper's off-chip cost jump at the tightest budget.
+	s := fanInSpec(t, 5, 10, 1000)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	pipe := Params{Pipelined: true}
+	pipe.normalize()
+
+	// 5 off-chip reads × 2 cycles = 10 busy cycles; II = 6 cannot host
+	// them on one port.
+	sc, err := BalanceLoop(l, g, 6, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := RequiredPorts(PatternsOf(s, []*LoopSchedule{sc}, pipe))
+	if ports["big"] < 2 {
+		t.Fatalf("II 6 with 10 off-chip busy cycles: big needs %d ports, want >= 2", ports["big"])
+	}
+	// A relaxed II serializes them again.
+	sc2, err := BalanceLoop(l, g, 22, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports2 := RequiredPorts(PatternsOf(s, []*LoopSchedule{sc2}, pipe))
+	if ports2["big"] != 1 {
+		t.Fatalf("relaxed II: big needs %d ports, want 1", ports2["big"])
+	}
+}
+
+func TestPipelinedPatternAccounting(t *testing.T) {
+	// Σ multiplicities × weight over the modulo patterns still equals the
+	// total busy cycles per frame.
+	s := fanInSpec(t, 3, 4, 10)
+	l := &s.Loops[0]
+	g := groupsMap(s)
+	pipe := Params{Pipelined: true}
+	pipe.normalize()
+	sc, err := BalanceLoop(l, g, 5, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy int
+	for _, a := range l.Accesses {
+		busy += pipe.Duration(g[a.Group])
+	}
+	var acc uint64
+	for _, pt := range PatternsOf(s, []*LoopSchedule{sc}, pipe) {
+		for _, k := range pt.Access {
+			acc += uint64(k) * pt.Weight
+		}
+	}
+	if acc != uint64(busy)*l.Iterations {
+		t.Fatalf("pattern accounting %d != busy %d × iters %d", acc, busy, l.Iterations)
+	}
+}
+
+func TestPipelinedDistributeBelowMACP(t *testing.T) {
+	s := fanInSpec(t, 4, 5, 1000)
+	// Weighted MACP = 7000; a linear distribute rejects 6000, a pipelined
+	// one accepts it (at a conflict price).
+	if _, err := Distribute(s, 6000, Params{}); err == nil {
+		t.Fatal("linear distribute accepted budget below MACP")
+	}
+	d, err := Distribute(s, 6000, Params{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Used > 6000 {
+		t.Fatalf("pipelined distribute overran: %d", d.Used)
+	}
+	// Tighter budgets cost more.
+	d2, err := Distribute(s, 4000, Params{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cost < d.Cost {
+		t.Fatalf("tighter pipelined budget got cheaper: %.1f vs %.1f", d2.Cost, d.Cost)
+	}
+}
+
+// Property: for random DAGs and feasible budgets, balanced schedules are
+// always dependence- and budget-valid, and patterns account for every
+// access-cycle.
+func TestQuickScheduleValidity(t *testing.T) {
+	f := func(edges []uint16, sizes []bool, extra uint8) bool {
+		n := 8
+		b := spec.NewBuilder("q")
+		b.Group("on", 128, 8)
+		b.Group("off", offWords, 8)
+		depsOf := make([][]int, n)
+		for _, e := range edges {
+			from := int(e) % n
+			to := int(e>>4) % n
+			if from < to {
+				depsOf[to] = append(depsOf[to], from)
+			}
+		}
+		b.Loop("l", 3)
+		for i := 0; i < n; i++ {
+			grp := "on"
+			if i < len(sizes) && sizes[i] {
+				grp = "off"
+			}
+			b.Read(grp, 1, depsOf[i]...)
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		g := groupsMap(s)
+		p := Params{}
+		p.normalize()
+		l := &s.Loops[0]
+		budget := WeightedCP(l, g, p) + int(extra)%6
+		sc, err := BalanceLoop(l, g, budget, p)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, a := range l.Accesses {
+			st := sc.Start[a.ID]
+			d := p.Duration(g[a.Group])
+			if st < 0 || st+d > budget {
+				return false
+			}
+			for _, dep := range a.Deps {
+				if sc.Start[dep]+p.Duration(g[l.Accesses[dep].Group]) > st {
+					return false
+				}
+			}
+			total += d
+		}
+		// Pattern accounting: Σ multiplicities × weight = Σ durations × iters.
+		var acc uint64
+		for _, pt := range PatternsOf(s, []*LoopSchedule{sc}, p) {
+			for _, k := range pt.Access {
+				acc += uint64(k) * pt.Weight
+			}
+		}
+		return acc == uint64(total)*l.Iterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a specification, for persisting pruned specifications
+// and exchanging them between the profiling and exploration tools. The
+// format mirrors the in-memory structures with lower-case field names and
+// omits empty fields, so hand-written specifications stay readable.
+
+type jsonSpec struct {
+	Name   string      `json:"name"`
+	Groups []jsonGroup `json:"groups"`
+	Loops  []jsonLoop  `json:"loops"`
+}
+
+type jsonGroup struct {
+	Name  string `json:"name"`
+	Words int64  `json:"words"`
+	Bits  int    `json:"bits"`
+}
+
+type jsonLoop struct {
+	Name       string       `json:"name"`
+	Iterations uint64       `json:"iterations"`
+	Accesses   []jsonAccess `json:"accesses"`
+}
+
+type jsonAccess struct {
+	Group  string  `json:"group"`
+	Write  bool    `json:"write,omitempty"`
+	Count  float64 `json:"count"`
+	Deps   []int   `json:"deps,omitempty"`
+	Site   string  `json:"site,omitempty"`
+	Branch string  `json:"branch,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	js := jsonSpec{Name: s.Name}
+	for _, g := range s.Groups {
+		js.Groups = append(js.Groups, jsonGroup(g))
+	}
+	for _, l := range s.Loops {
+		jl := jsonLoop{Name: l.Name, Iterations: l.Iterations}
+		for _, a := range l.Accesses {
+			jl.Accesses = append(jl.Accesses, jsonAccess{
+				Group: a.Group, Write: a.Write, Count: a.Count,
+				Deps: a.Deps, Site: a.Site, Branch: a.Branch,
+			})
+		}
+		js.Loops = append(js.Loops, jl)
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Access IDs are assigned from
+// the array order; the result is validated.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	out := Spec{Name: js.Name}
+	for _, g := range js.Groups {
+		out.Groups = append(out.Groups, BasicGroup(g))
+	}
+	for _, jl := range js.Loops {
+		l := Loop{Name: jl.Name, Iterations: jl.Iterations}
+		for i, ja := range jl.Accesses {
+			l.Accesses = append(l.Accesses, Access{
+				ID: i, Group: ja.Group, Write: ja.Write, Count: ja.Count,
+				Deps: ja.Deps, Site: ja.Site, Branch: ja.Branch,
+			})
+		}
+		out.Loops = append(out.Loops, l)
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// WriteJSON serializes the specification with indentation.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses and validates a specification.
+func ReadJSON(r io.Reader) (*Spec, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,233 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Spec {
+	t.Helper()
+	b := NewBuilder("small")
+	b.Group("a", 1024, 8).Group("b", 256, 16)
+	b.Loop("main", 1000)
+	r1 := b.Read("a", 1)
+	r2 := b.Read("b", 0.5)
+	b.Write("a", 1, r1, r2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuilderBasics(t *testing.T) {
+	s := buildSmall(t)
+	if len(s.Groups) != 2 || len(s.Loops) != 1 {
+		t.Fatalf("groups %d loops %d", len(s.Groups), len(s.Loops))
+	}
+	g, ok := s.Group("b")
+	if !ok || g.Words != 256 || g.Bits != 16 {
+		t.Fatalf("Group(b) = %+v, %v", g, ok)
+	}
+	if _, ok := s.Group("zzz"); ok {
+		t.Fatal("unknown group found")
+	}
+	if g.BitSize() != 256*16 {
+		t.Fatalf("BitSize = %d", g.BitSize())
+	}
+}
+
+func TestAccessesPerFrame(t *testing.T) {
+	s := buildSmall(t)
+	if got := s.AccessesPerFrame("a"); got != 2000 {
+		t.Fatalf("a accesses = %d, want 2000", got)
+	}
+	if got := s.AccessesPerFrame("b"); got != 500 {
+		t.Fatalf("b accesses = %d, want 500", got)
+	}
+	if got := s.TotalAccesses(); got != 2500 {
+		t.Fatalf("total = %d, want 2500", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := buildSmall(t)
+	c := s.Clone()
+	c.Groups[0].Bits = 32
+	c.Loops[0].Accesses[0].Count = 99
+	c.Loops[0].Accesses[2].Deps[0] = 1
+	if s.Groups[0].Bits == 32 || s.Loops[0].Accesses[0].Count == 99 {
+		t.Fatal("clone shares group/access storage")
+	}
+	if s.Loops[0].Accesses[2].Deps[0] != 0 {
+		t.Fatal("clone shares dep slices")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func(mut func(*Spec)) error {
+		s := buildSmall(t).Clone()
+		mut(s)
+		return s.Validate()
+	}
+	cases := map[string]func(*Spec){
+		"dup group":     func(s *Spec) { s.Groups = append(s.Groups, BasicGroup{Name: "a", Words: 1, Bits: 1}) },
+		"empty name":    func(s *Spec) { s.Groups[0].Name = "" },
+		"zero words":    func(s *Spec) { s.Groups[0].Words = 0 },
+		"bad bits":      func(s *Spec) { s.Groups[0].Bits = 65 },
+		"zero iters":    func(s *Spec) { s.Loops[0].Iterations = 0 },
+		"unknown group": func(s *Spec) { s.Loops[0].Accesses[0].Group = "ghost" },
+		"sparse IDs":    func(s *Spec) { s.Loops[0].Accesses[1].ID = 7 },
+		"neg count":     func(s *Spec) { s.Loops[0].Accesses[0].Count = -1 },
+		"dep range":     func(s *Spec) { s.Loops[0].Accesses[2].Deps = []int{9} },
+		"self dep":      func(s *Spec) { s.Loops[0].Accesses[2].Deps = []int{2} },
+		"dep cycle":     func(s *Spec) { s.Loops[0].Accesses[0].Deps = []int{2} },
+	}
+	for name, mut := range cases {
+		if err := mk(mut); err == nil {
+			t.Errorf("%s: Validate accepted a broken spec", name)
+		}
+	}
+}
+
+func TestBuilderAccessOutsideLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("x").Group("a", 1, 1).Read("a", 1)
+}
+
+func TestRemoveGroup(t *testing.T) {
+	s := buildSmall(t)
+	s.RemoveGroup("b")
+	if _, ok := s.Group("b"); ok {
+		t.Fatal("b still present")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec invalid after RemoveGroup: %v", err)
+	}
+	for _, a := range s.Loops[0].Accesses {
+		if a.Group == "b" {
+			t.Fatal("access to removed group survived")
+		}
+	}
+	// The write depended on both reads; the dependence on the surviving
+	// read must remain.
+	w := s.Loops[0].Accesses[1]
+	if !w.Write || len(w.Deps) != 1 || w.Deps[0] != 0 {
+		t.Fatalf("rewired write access = %+v", w)
+	}
+}
+
+func TestFilterAccessesRewiresTransitively(t *testing.T) {
+	b := NewBuilder("chain")
+	b.Group("a", 16, 8).Group("tmp", 16, 8)
+	b.Loop("l", 10)
+	r := b.Read("a", 1)
+	m := b.Write("tmp", 1, r)
+	m2 := b.Read("tmp", 1, m)
+	b.Write("a", 1, m2)
+	s := b.MustBuild()
+	// Drop the tmp accesses: the final write must now depend on the first
+	// read via the collapsed chain.
+	s.FilterAccesses(func(_ string, a Access) bool { return a.Group != "tmp" })
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Loops[0].Accesses) != 2 {
+		t.Fatalf("%d accesses left, want 2", len(s.Loops[0].Accesses))
+	}
+	w := s.Loops[0].Accesses[1]
+	if len(w.Deps) != 1 || w.Deps[0] != 0 {
+		t.Fatalf("transitive rewiring failed: %+v", w)
+	}
+}
+
+func TestGroupNamesOrder(t *testing.T) {
+	s := buildSmall(t)
+	names := s.GroupNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("GroupNames = %v", names)
+	}
+}
+
+func TestAccessesPerIteration(t *testing.T) {
+	s := buildSmall(t)
+	if got := s.Loops[0].AccessesPerIteration(); got != 2.5 {
+		t.Fatalf("AccessesPerIteration = %v, want 2.5", got)
+	}
+}
+
+func TestValidateErrorMentionsLocation(t *testing.T) {
+	s := buildSmall(t)
+	s.Loops[0].Accesses[0].Group = "ghost"
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "main") || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// Property: Clone is always equal in totals and survives Validate whenever
+// the original does.
+func TestQuickCloneFaithful(t *testing.T) {
+	f := func(counts []uint8, iters uint16) bool {
+		b := NewBuilder("q")
+		b.Group("g", 128, 8)
+		b.Loop("l", uint64(iters)+1)
+		prev := -1
+		for _, c := range counts {
+			var id int
+			if prev >= 0 && c%2 == 0 {
+				id = b.Read("g", float64(c), prev)
+			} else {
+				id = b.Write("g", float64(c))
+			}
+			prev = id
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		c := s.Clone()
+		return c.Validate() == nil &&
+			c.TotalAccesses() == s.TotalAccesses() &&
+			c.AccessesPerFrame("g") == s.AccessesPerFrame("g")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FilterAccesses never breaks validity or creates cycles.
+func TestQuickFilterKeepsValidity(t *testing.T) {
+	f := func(keepMask uint16) bool {
+		b := NewBuilder("q")
+		b.Group("a", 16, 8).Group("b", 16, 8)
+		b.Loop("l", 5)
+		ids := make([]int, 8)
+		for i := range ids {
+			grp := "a"
+			if i%2 == 1 {
+				grp = "b"
+			}
+			var deps []int
+			if i >= 2 {
+				deps = []int{ids[i-1], ids[i-2]}
+			} else if i == 1 {
+				deps = []int{ids[0]}
+			}
+			ids[i] = b.Read(grp, 1, deps...)
+		}
+		s := b.MustBuild()
+		s.FilterAccesses(func(_ string, a Access) bool {
+			return keepMask&(1<<uint(a.ID)) != 0
+		})
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package trace implements memory-access profiling. The paper (§4.1) notes
+// that for data-dependent applications the access counts needed by the cost
+// estimators "can only be obtained by profiling" and that IMEC wrote
+// software to automatically instrument the application; this package is
+// that instrumentation layer.
+//
+// A Recorder counts reads and writes per named array (basic group),
+// attributed to the innermost active scope (loop label). Instrumented array
+// wrappers (Array1D, Array2D) make instrumenting an algorithm a mechanical
+// substitution of indexing syntax.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counts is a read/write tally.
+type Counts struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns reads + writes.
+func (c Counts) Total() uint64 { return c.Reads + c.Writes }
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+}
+
+// ArrayStats aggregates the accesses to one array.
+type ArrayStats struct {
+	Counts
+	PerScope map[string]*Counts // scope label -> tally within that scope
+}
+
+// Recorder accumulates access counts. The zero value is not usable; call
+// NewRecorder. A nil *Recorder is valid everywhere and records nothing,
+// which lets instrumented code run at full speed when profiling is off.
+type Recorder struct {
+	arrays  map[string]*ArrayStats
+	scopes  []string            // scope stack; attribution goes to the top element
+	version uint64              // bumped on every Push/Pop; invalidates cached handles
+	addrs   map[string]*[]int32 // arrays with read-address tracing enabled
+}
+
+// NewRecorder returns an empty Recorder with the root scope "" active.
+func NewRecorder() *Recorder {
+	return &Recorder{arrays: make(map[string]*ArrayStats), version: 1}
+}
+
+// EnableAddressTrace turns on read-address capture for the named array.
+// It must be called before the instrumented array is created. Address
+// traces feed the data-reuse analysis of the memory hierarchy step.
+func (r *Recorder) EnableAddressTrace(array string) {
+	if r == nil {
+		return
+	}
+	if r.addrs == nil {
+		r.addrs = make(map[string]*[]int32)
+	}
+	if r.addrs[array] == nil {
+		buf := make([]int32, 0, 1024)
+		r.addrs[array] = &buf
+	}
+}
+
+// Addresses returns the captured read-address trace of the named array
+// (nil when tracing was not enabled).
+func (r *Recorder) Addresses(array string) []int32 {
+	if r == nil || r.addrs == nil || r.addrs[array] == nil {
+		return nil
+	}
+	return *r.addrs[array]
+}
+
+// Push enters a scope (e.g. a loop label). Scope names nest with "/".
+func (r *Recorder) Push(label string) {
+	if r == nil {
+		return
+	}
+	full := label
+	if n := len(r.scopes); n > 0 {
+		full = r.scopes[n-1] + "/" + label
+	}
+	r.scopes = append(r.scopes, full)
+	r.version++
+}
+
+// Pop leaves the innermost scope. Popping the root is an error in the
+// instrumentation and panics.
+func (r *Recorder) Pop() {
+	if r == nil {
+		return
+	}
+	if len(r.scopes) == 0 {
+		panic("trace: scope stack underflow")
+	}
+	r.scopes = r.scopes[:len(r.scopes)-1]
+	r.version++
+}
+
+// Scope returns the full label of the innermost active scope ("" at root).
+func (r *Recorder) Scope() string {
+	if r == nil || len(r.scopes) == 0 {
+		return ""
+	}
+	return r.scopes[len(r.scopes)-1]
+}
+
+func (r *Recorder) stats(array string) *ArrayStats {
+	s := r.arrays[array]
+	if s == nil {
+		s = &ArrayStats{PerScope: make(map[string]*Counts)}
+		r.arrays[array] = s
+	}
+	return s
+}
+
+func (r *Recorder) scopeCounts(s *ArrayStats) *Counts {
+	label := r.Scope()
+	c := s.PerScope[label]
+	if c == nil {
+		c = &Counts{}
+		s.PerScope[label] = c
+	}
+	return c
+}
+
+// Read records one read of array.
+func (r *Recorder) Read(array string) {
+	if r == nil {
+		return
+	}
+	s := r.stats(array)
+	s.Reads++
+	r.scopeCounts(s).Reads++
+}
+
+// Write records one write of array.
+func (r *Recorder) Write(array string) {
+	if r == nil {
+		return
+	}
+	s := r.stats(array)
+	s.Writes++
+	r.scopeCounts(s).Writes++
+}
+
+// ReadN and WriteN record n accesses at once (bulk transfers).
+func (r *Recorder) ReadN(array string, n uint64) {
+	if r == nil {
+		return
+	}
+	s := r.stats(array)
+	s.Reads += n
+	r.scopeCounts(s).Reads += n
+}
+
+// WriteN records n writes of array.
+func (r *Recorder) WriteN(array string, n uint64) {
+	if r == nil {
+		return
+	}
+	s := r.stats(array)
+	s.Writes += n
+	r.scopeCounts(s).Writes += n
+}
+
+// Array returns the tally for one array (zero Counts if never accessed).
+func (r *Recorder) Array(name string) Counts {
+	if r == nil {
+		return Counts{}
+	}
+	if s := r.arrays[name]; s != nil {
+		return s.Counts
+	}
+	return Counts{}
+}
+
+// ArrayScope returns the tally for one array within one scope label.
+func (r *Recorder) ArrayScope(name, scope string) Counts {
+	if r == nil {
+		return Counts{}
+	}
+	if s := r.arrays[name]; s != nil {
+		if c := s.PerScope[scope]; c != nil {
+			return *c
+		}
+	}
+	return Counts{}
+}
+
+// Arrays returns the profiled array names, sorted.
+func (r *Recorder) Arrays() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.arrays))
+	for n := range r.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalAccesses returns the grand total across all arrays.
+func (r *Recorder) TotalAccesses() uint64 {
+	if r == nil {
+		return 0
+	}
+	var t uint64
+	for _, s := range r.arrays {
+		t += s.Total()
+	}
+	return t
+}
+
+// Report renders a human-readable profile, arrays sorted by total accesses
+// descending (the view a designer uses to find the dominant basic groups).
+func (r *Recorder) Report() string {
+	if r == nil {
+		return "(profiling disabled)\n"
+	}
+	names := r.Arrays()
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := r.arrays[names[i]].Total(), r.arrays[names[j]].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %14s\n", "array", "reads", "writes", "total")
+	for _, n := range names {
+		s := r.arrays[n]
+		fmt.Fprintf(&b, "%-16s %14d %14d %14d\n", n, s.Reads, s.Writes, s.Total())
+	}
+	fmt.Fprintf(&b, "%-16s %44d\n", "TOTAL", r.TotalAccesses())
+	return b.String()
+}
+
+// Handle is a cached, low-overhead recording channel for one array. It
+// avoids the per-access map lookups of Recorder.Read/Write, which matters
+// when instrumenting an application that makes tens of millions of accesses
+// (the 1024×1024 BTPC profile). A nil *Handle records nothing.
+type Handle struct {
+	rec   *Recorder
+	stats *ArrayStats
+	sc    *Counts // scope tally cached for scVer
+	scVer uint64
+}
+
+// NewHandle returns a recording handle for the named array, or nil when the
+// Recorder is nil (profiling off).
+func (r *Recorder) NewHandle(array string) *Handle {
+	if r == nil {
+		return nil
+	}
+	return &Handle{rec: r, stats: r.stats(array)}
+}
+
+func (h *Handle) scope() *Counts {
+	if h.scVer != h.rec.version {
+		h.sc = h.rec.scopeCounts(h.stats)
+		h.scVer = h.rec.version
+	}
+	return h.sc
+}
+
+// Read records n reads.
+func (h *Handle) Read(n uint64) {
+	if h == nil {
+		return
+	}
+	h.stats.Reads += n
+	h.scope().Reads += n
+}
+
+// Write records n writes.
+func (h *Handle) Write(n uint64) {
+	if h == nil {
+		return
+	}
+	h.stats.Writes += n
+	h.scope().Writes += n
+}
+
+// Array2D is an instrumented 2-D integer array bound to a Recorder.
+// Indexing is (x, y) with row-major storage, mirroring img.Gray.
+type Array2D struct {
+	Name string
+	W, H int
+	data []int32
+	h    *Handle
+	addr *[]int32 // read-address capture, nil unless enabled
+}
+
+// NewArray2D allocates an instrumented W×H array recording into rec
+// (rec may be nil to disable profiling).
+func NewArray2D(rec *Recorder, name string, w, h int) *Array2D {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("trace: invalid array dimensions %dx%d", w, h))
+	}
+	a := &Array2D{Name: name, W: w, H: h, data: make([]int32, w*h), h: rec.NewHandle(name)}
+	if rec != nil && rec.addrs != nil {
+		a.addr = rec.addrs[name]
+	}
+	return a
+}
+
+// Get reads element (x, y), recording one read access.
+func (a *Array2D) Get(x, y int) int32 {
+	a.h.Read(1)
+	if a.addr != nil {
+		*a.addr = append(*a.addr, int32(y*a.W+x))
+	}
+	return a.data[y*a.W+x]
+}
+
+// Set writes element (x, y), recording one write access.
+func (a *Array2D) Set(x, y int, v int32) {
+	a.h.Write(1)
+	a.data[y*a.W+x] = v
+}
+
+// Peek reads without recording (for assertions and debugging only).
+func (a *Array2D) Peek(x, y int) int32 { return a.data[y*a.W+x] }
+
+// Array1D is an instrumented 1-D integer array bound to a Recorder.
+type Array1D struct {
+	Name string
+	N    int
+	data []int32
+	h    *Handle
+}
+
+// NewArray1D allocates an instrumented length-n array recording into rec.
+func NewArray1D(rec *Recorder, name string, n int) *Array1D {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: invalid array length %d", n))
+	}
+	return &Array1D{Name: name, N: n, data: make([]int32, n), h: rec.NewHandle(name)}
+}
+
+// Get reads element i, recording one read access.
+func (a *Array1D) Get(i int) int32 {
+	a.h.Read(1)
+	return a.data[i]
+}
+
+// Set writes element i, recording one write access.
+func (a *Array1D) Set(i int, v int32) {
+	a.h.Write(1)
+	a.data[i] = v
+}
+
+// Peek reads without recording.
+func (a *Array1D) Peek(i int) int32 { return a.data[i] }

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteCounts(t *testing.T) {
+	r := NewRecorder()
+	r.Read("a")
+	r.Read("a")
+	r.Write("a")
+	r.Write("b")
+	if c := r.Array("a"); c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("a = %+v, want {2 1}", c)
+	}
+	if c := r.Array("b"); c.Reads != 0 || c.Writes != 1 {
+		t.Fatalf("b = %+v, want {0 1}", c)
+	}
+	if c := r.Array("missing"); c.Total() != 0 {
+		t.Fatalf("missing = %+v, want zero", c)
+	}
+	if r.TotalAccesses() != 4 {
+		t.Fatalf("TotalAccesses = %d, want 4", r.TotalAccesses())
+	}
+}
+
+func TestBulkCounts(t *testing.T) {
+	r := NewRecorder()
+	r.ReadN("x", 100)
+	r.WriteN("x", 50)
+	if c := r.Array("x"); c.Reads != 100 || c.Writes != 50 {
+		t.Fatalf("x = %+v", c)
+	}
+}
+
+func TestScopeAttribution(t *testing.T) {
+	r := NewRecorder()
+	r.Read("a") // root scope
+	r.Push("outer")
+	r.Read("a")
+	r.Push("inner")
+	r.Write("a")
+	r.Pop()
+	r.Read("a")
+	r.Pop()
+	if got := r.ArrayScope("a", ""); got.Reads != 1 || got.Writes != 0 {
+		t.Fatalf("root scope = %+v", got)
+	}
+	if got := r.ArrayScope("a", "outer"); got.Reads != 2 {
+		t.Fatalf("outer scope = %+v, want 2 reads", got)
+	}
+	if got := r.ArrayScope("a", "outer/inner"); got.Writes != 1 {
+		t.Fatalf("inner scope = %+v, want 1 write", got)
+	}
+	if total := r.Array("a"); total.Reads != 3 || total.Writes != 1 {
+		t.Fatalf("total = %+v, want {3 1}", total)
+	}
+}
+
+func TestScopeNesting(t *testing.T) {
+	r := NewRecorder()
+	if r.Scope() != "" {
+		t.Fatalf("root scope = %q", r.Scope())
+	}
+	r.Push("l1")
+	r.Push("l2")
+	if r.Scope() != "l1/l2" {
+		t.Fatalf("scope = %q, want l1/l2", r.Scope())
+	}
+	r.Pop()
+	if r.Scope() != "l1" {
+		t.Fatalf("scope after pop = %q", r.Scope())
+	}
+}
+
+func TestPopUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scope underflow")
+		}
+	}()
+	NewRecorder().Pop()
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Push("x")
+	r.Read("a")
+	r.Write("a")
+	r.ReadN("a", 5)
+	r.WriteN("a", 5)
+	r.Pop()
+	if r.TotalAccesses() != 0 || r.Arrays() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	if r.Scope() != "" {
+		t.Fatal("nil recorder has a scope")
+	}
+	if !strings.Contains(r.Report(), "disabled") {
+		t.Fatal("nil recorder report should say disabled")
+	}
+}
+
+func TestArraysSorted(t *testing.T) {
+	r := NewRecorder()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Read(n)
+	}
+	got := r.Arrays()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Arrays() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReportOrdersByTotal(t *testing.T) {
+	r := NewRecorder()
+	r.ReadN("small", 1)
+	r.ReadN("big", 1000)
+	rep := r.Report()
+	if strings.Index(rep, "big") > strings.Index(rep, "small") {
+		t.Fatalf("report does not order by total:\n%s", rep)
+	}
+	if !strings.Contains(rep, "TOTAL") {
+		t.Fatal("report missing TOTAL line")
+	}
+}
+
+func TestArray2D(t *testing.T) {
+	r := NewRecorder()
+	a := NewArray2D(r, "m", 3, 2)
+	a.Set(2, 1, 42)
+	if got := a.Get(2, 1); got != 42 {
+		t.Fatalf("Get = %d, want 42", got)
+	}
+	if got := a.Peek(2, 1); got != 42 {
+		t.Fatalf("Peek = %d, want 42", got)
+	}
+	// 1 write + 1 read recorded; Peek not recorded.
+	if c := r.Array("m"); c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("counts = %+v, want {1 1}", c)
+	}
+}
+
+func TestArray1D(t *testing.T) {
+	r := NewRecorder()
+	a := NewArray1D(r, "v", 4)
+	a.Set(3, -7)
+	if a.Get(3) != -7 {
+		t.Fatal("round trip failed")
+	}
+	if c := r.Array("v"); c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestArrayInvalidDimsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewArray2D(nil, "x", 0, 1) },
+		func() { NewArray1D(nil, "x", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid dims")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArraysWithNilRecorder(t *testing.T) {
+	a := NewArray2D(nil, "m", 2, 2)
+	a.Set(0, 0, 5)
+	if a.Get(0, 0) != 5 {
+		t.Fatal("nil-recorder array does not store values")
+	}
+}
+
+func TestHandleMatchesDirectAPI(t *testing.T) {
+	direct := NewRecorder()
+	viaHandle := NewRecorder()
+	h := viaHandle.NewHandle("a")
+
+	direct.Read("a")
+	h.Read(1)
+	direct.Push("loop")
+	viaHandle.Push("loop")
+	direct.Write("a")
+	direct.Write("a")
+	h.Write(2)
+	direct.Pop()
+	viaHandle.Pop()
+	direct.ReadN("a", 3)
+	h.Read(3)
+
+	if direct.Array("a") != viaHandle.Array("a") {
+		t.Fatalf("totals differ: %+v vs %+v", direct.Array("a"), viaHandle.Array("a"))
+	}
+	for _, scope := range []string{"", "loop"} {
+		if direct.ArrayScope("a", scope) != viaHandle.ArrayScope("a", scope) {
+			t.Fatalf("scope %q differs: %+v vs %+v", scope,
+				direct.ArrayScope("a", scope), viaHandle.ArrayScope("a", scope))
+		}
+	}
+}
+
+func TestHandleScopeCacheInvalidation(t *testing.T) {
+	r := NewRecorder()
+	h := r.NewHandle("x")
+	h.Read(1) // root
+	r.Push("a")
+	h.Read(1) // scope a
+	r.Pop()
+	r.Push("a") // same label again: must still attribute correctly
+	h.Read(1)
+	r.Pop()
+	h.Read(1) // back at root
+	if c := r.ArrayScope("x", ""); c.Reads != 2 {
+		t.Fatalf("root reads = %d, want 2", c.Reads)
+	}
+	if c := r.ArrayScope("x", "a"); c.Reads != 2 {
+		t.Fatalf("scope-a reads = %d, want 2", c.Reads)
+	}
+}
+
+func TestNilHandle(t *testing.T) {
+	var r *Recorder
+	h := r.NewHandle("x")
+	if h != nil {
+		t.Fatal("nil recorder should yield nil handle")
+	}
+	h.Read(5) // must not crash
+	h.Write(5)
+}
+
+func TestAddressTrace(t *testing.T) {
+	r := NewRecorder()
+	r.EnableAddressTrace("m")
+	r.EnableAddressTrace("m") // idempotent
+	a := NewArray2D(r, "m", 4, 4)
+	a.Set(1, 2, 7) // writes are not traced
+	_ = a.Get(1, 2)
+	_ = a.Get(3, 0)
+	got := r.Addresses("m")
+	want := []int32{2*4 + 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+	// Untraced arrays return nil.
+	if r.Addresses("other") != nil {
+		t.Fatal("untraced array has addresses")
+	}
+	// Arrays created before enabling are not traced.
+	r2 := NewRecorder()
+	b := NewArray2D(r2, "late", 2, 2)
+	r2.EnableAddressTrace("late")
+	_ = b.Get(0, 0)
+	if len(r2.Addresses("late")) != 0 {
+		t.Fatal("pre-enable array captured addresses")
+	}
+	// Nil recorder paths.
+	var nr *Recorder
+	nr.EnableAddressTrace("x")
+	if nr.Addresses("x") != nil {
+		t.Fatal("nil recorder has addresses")
+	}
+}
+
+func TestArrayScopeMissingCases(t *testing.T) {
+	r := NewRecorder()
+	if c := r.ArrayScope("never", "s"); c.Total() != 0 {
+		t.Fatal("missing array scope non-zero")
+	}
+	r.Read("a")
+	if c := r.ArrayScope("a", "ghost-scope"); c.Total() != 0 {
+		t.Fatal("missing scope non-zero")
+	}
+}
+
+func TestArray1DPeek(t *testing.T) {
+	r := NewRecorder()
+	a := NewArray1D(r, "v", 2)
+	a.Set(1, 9)
+	before := r.Array("v")
+	if a.Peek(1) != 9 {
+		t.Fatal("peek value wrong")
+	}
+	if r.Array("v") != before {
+		t.Fatal("Peek recorded an access")
+	}
+}
+
+// Property: totals always equal the sum of per-scope counts.
+func TestQuickScopeSumsMatchTotal(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRecorder()
+		depth := 0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				r.Push("s")
+				depth++
+			case 1:
+				if depth > 0 {
+					r.Pop()
+					depth--
+				}
+			case 2:
+				r.Read("a")
+			case 3:
+				r.Write("a")
+			case 4:
+				r.ReadN("b", uint64(op))
+			}
+		}
+		for _, name := range []string{"a", "b"} {
+			var sum Counts
+			s := r.arrays[name]
+			if s == nil {
+				continue
+			}
+			for _, c := range s.PerScope {
+				sum.Add(*c)
+			}
+			if sum != s.Counts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
