@@ -358,6 +358,50 @@ func BenchmarkWorkloadExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkExplore measures the full methodology run with telemetry off
+// (nil observer): the baseline the no-op instrumentation must not regress.
+func BenchmarkExplore(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAll(core.DemoConfig{Size: 256}, core.DefaultEvalParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreObserved is the same run with a collector observer
+// attached; the difference against BenchmarkExplore is the telemetry
+// overhead. Per-step wall times are reported as custom metrics.
+func BenchmarkExploreObserved(b *testing.B) {
+	b.ReportAllocs()
+	var last *core.Results
+	var collector *SpanCollector
+	for i := 0; i < b.N; i++ {
+		collector = NewCollectorSink()
+		o := NewObserver(collector)
+		ep := core.DefaultEvalParams()
+		ep.Obs = o
+		res, err := core.RunAll(core.DemoConfig{Size: 256}, ep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	_ = last
+	// Report each methodology step's wall time from the recorded span tree.
+	var rootID uint64
+	for _, r := range collector.Records() {
+		if r.Name == "run_all" {
+			rootID = r.ID
+		}
+	}
+	for _, r := range collector.Records() {
+		if r.Parent == rootID {
+			b.ReportMetric(float64(r.WallUS)/1000, r.Name+"-ms")
+		}
+	}
+}
+
 // BenchmarkDistribute measures one storage-cycle-budget distribution of the
 // full demonstrator specification.
 func BenchmarkDistribute(b *testing.B) {

@@ -4,18 +4,39 @@
 // Usage:
 //
 //	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
+//	     [-trace out.jsonl] [-stats] [-pprof addr]
 //
-// Without -table/-figure, everything is printed.
+// Without -table/-figure, everything is printed. -trace records the
+// exploration telemetry (span tree + counters) as JSON lines; -stats prints
+// a per-step wall-time/allocation summary to stderr; -pprof serves
+// net/http/pprof and the telemetry counters (expvar) on the given address
+// for live profiling of long explorations.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// validateSelection checks the -table/-figure selectors against the ranges
+// the reproduction actually has (Tables 1-4, Figures 1-3); 0 means "all".
+func validateSelection(table, figure int) error {
+	if table < 0 || table > 4 {
+		return fmt.Errorf("dtse: -table %d out of range (1-4, or 0 for all)", table)
+	}
+	if figure < 0 || figure > 3 {
+		return fmt.Errorf("dtse: -figure %d out of range (1-3, or 0 for all)", figure)
+	}
+	return nil
+}
 
 func main() {
 	size := flag.Int("size", 1024, "image side length (the paper's constraint is 1024)")
@@ -26,11 +47,55 @@ func main() {
 	verbose := flag.Bool("v", false, "print the profile and the final organization details")
 	ablations := flag.Bool("ablations", false, "also run the modeling-decision ablations")
 	inplaceF := flag.Bool("inplace", false, "also print the in-place mapping (lifetime) analysis")
+	traceOut := flag.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
+	stats := flag.Bool("stats", false, "print the per-step telemetry summary to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if err := validateSelection(*table, *figure); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Telemetry session: a JSONL sink when -trace is given, an in-memory
+	// collector when -stats needs one, nothing (nil observer, zero overhead)
+	// otherwise.
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtse:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	var collector *obs.Collector
+	if *stats {
+		collector = obs.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var observer *obs.Observer
+	if len(sinks) > 0 || *pprofAddr != "" {
+		observer = obs.New(sinks...)
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("dtse", expvar.Func(func() any { return observer.Counters() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dtse: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "(pprof and expvar counters on http://%s/debug/pprof/)\n", *pprofAddr)
+	}
+
+	ep := core.DefaultEvalParams()
+	ep.Obs = observer
+
 	start := time.Now()
-	res, err := core.RunAll(core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant},
-		core.DefaultEvalParams())
+	res, err := core.RunAll(core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant}, ep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtse:", err)
 		os.Exit(1)
@@ -106,6 +171,19 @@ func main() {
 		if a, err := core.AblationInPlace(res.Demo, ep); err == nil {
 			printAbl(a)
 		}
+	}
+
+	if err := observer.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "dtse: telemetry flush:", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dtse:", err)
+		}
+		fmt.Fprintf(os.Stderr, "(telemetry trace written to %s)\n", *traceOut)
+	}
+	if collector != nil {
+		fmt.Fprintf(os.Stderr, "\nExploration telemetry (per methodology step):\n%s", obs.StatsTable(collector.Records()))
 	}
 	fmt.Fprintf(os.Stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// Regression test: out-of-range -table/-figure selections used to print
+// nothing and exit 0; they must now be rejected with a usage error.
+func TestValidateSelection(t *testing.T) {
+	valid := []struct{ table, figure int }{
+		{0, 0}, {1, 0}, {4, 0}, {0, 1}, {0, 3}, {2, 2},
+	}
+	for _, c := range valid {
+		if err := validateSelection(c.table, c.figure); err != nil {
+			t.Errorf("validateSelection(%d, %d) = %v, want nil", c.table, c.figure, err)
+		}
+	}
+	invalid := []struct{ table, figure int }{
+		{5, 0}, {-1, 0}, {99, 0}, {0, 4}, {0, -1}, {5, 4},
+	}
+	for _, c := range invalid {
+		if err := validateSelection(c.table, c.figure); err == nil {
+			t.Errorf("validateSelection(%d, %d) = nil, want error", c.table, c.figure)
+		}
+	}
+}

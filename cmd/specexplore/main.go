@@ -5,7 +5,8 @@
 // Usage:
 //
 //	specexplore -budget 20000000 [-onchip 4] [-threshold 65536]
-//	            [-frame 1.0] [-inplace] [-interconnect] [-lifetimes] spec.json
+//	            [-frame 1.0] [-inplace] [-interconnect] [-lifetimes]
+//	            [-trace out.jsonl] [-stats] spec.json
 //
 // The specification format is documented in internal/spec (see
 // TestJSONHandWrittenSpec for a minimal example).
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inplace"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -29,6 +31,8 @@ func main() {
 	inplaceF := flag.Bool("inplace", false, "enable the in-place mapping extension")
 	interconnect := flag.Bool("interconnect", false, "enable the bus interconnect model")
 	lifetimes := flag.Bool("lifetimes", false, "print the lifetime analysis and exit")
+	traceOut := flag.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
+	stats := flag.Bool("stats", false, "print the per-step telemetry summary to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -54,7 +58,28 @@ func main() {
 		fatal(fmt.Errorf("-budget is required"))
 	}
 
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = tf
+		sinks = append(sinks, obs.NewJSONL(tf))
+	}
+	var collector *obs.Collector
+	if *stats {
+		collector = obs.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var observer *obs.Observer
+	if len(sinks) > 0 {
+		observer = obs.New(sinks...)
+	}
+
 	ep := core.DefaultEvalParams()
+	ep.Obs = observer
 	tech := *ep.Tech
 	tech.OnChipMaxWords = *threshold
 	tech.FramePeriod = *frame
@@ -82,6 +107,19 @@ func main() {
 	for _, b := range v.Asgn.OffChip {
 		fmt.Printf("  %-22s %d-port %8.2f mW: %v\n",
 			b.Mem.Name, b.Mem.Ports, b.Power, b.Groups)
+	}
+
+	if err := observer.Flush(); err != nil {
+		fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "(telemetry trace written to %s)\n", *traceOut)
+	}
+	if collector != nil {
+		fmt.Fprintf(os.Stderr, "\nExploration telemetry:\n%s", obs.StatsTable(collector.Records()))
 	}
 }
 

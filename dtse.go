@@ -43,6 +43,7 @@ import (
 	"repro/internal/inplace"
 	"repro/internal/looptrafo"
 	"repro/internal/memlib"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/reuse"
 	"repro/internal/sbd"
@@ -106,6 +107,33 @@ type (
 	// Hierarchy is a planned memory hierarchy for one array.
 	Hierarchy = reuse.Hierarchy
 )
+
+// Exploration telemetry.
+type (
+	// Observer is the root of one telemetry session; nil disables all
+	// instrumentation (set EvalParams.Obs to enable it for an exploration).
+	Observer = obs.Observer
+	// Span is one timed region of the exploration span tree.
+	Span = obs.Span
+	// SpanRecord is one finished span as delivered to sinks.
+	SpanRecord = obs.SpanRecord
+	// Sink receives finished spans and the final counter snapshot.
+	Sink = obs.Sink
+	// SpanCollector is an in-memory sink for tests and benchmarks.
+	SpanCollector = obs.Collector
+)
+
+// NewObserver returns a telemetry observer emitting into the given sinks.
+func NewObserver(sinks ...Sink) *Observer { return obs.New(sinks...) }
+
+// NewJSONLSink returns a sink writing one JSON object per line to w.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONL(w) }
+
+// NewCollectorSink returns an in-memory span collector.
+func NewCollectorSink() *SpanCollector { return obs.NewCollector() }
+
+// SpanStats renders the per-step summary table of a collected span set.
+func SpanStats(recs []*SpanRecord) string { return obs.StatsTable(recs) }
 
 // Image substrate and demonstrator codec.
 type (
@@ -171,6 +199,14 @@ func ParetoFront(points []ParetoPoint) []ParetoPoint { return pareto.Front(point
 // (Table 2, Figure 3), cycle budget (Table 3), allocation (Table 4).
 func ReproduceBTPC(cfg DemoConfig) (*Results, error) {
 	return core.RunAll(cfg, core.DefaultEvalParams())
+}
+
+// ReproduceBTPCObserved is ReproduceBTPC with exploration telemetry: spans
+// and counters are recorded into the observer's sinks (see NewObserver).
+func ReproduceBTPCObserved(cfg DemoConfig, o *Observer) (*Results, error) {
+	ep := core.DefaultEvalParams()
+	ep.Obs = o
+	return core.RunAll(cfg, ep)
 }
 
 // Demonstrator is a profiled BTPC application with its pruned spec.

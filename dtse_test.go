@@ -288,3 +288,33 @@ func TestDefaultTechIsUsable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeObservedExplore checks the telemetry surface of the facade: an
+// Explore with EvalParams.Obs set records an evaluate span with its engine
+// children into the collector sink, and SpanStats renders them.
+func TestFacadeObservedExplore(t *testing.T) {
+	sp := buildVideoSpec(t)
+	c := NewCollectorSink()
+	o := NewObserver(c)
+	ep := DefaultParams()
+	ep.Obs = o
+	if _, err := Explore(sp, 20*176*144, ep); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Find("evaluate")); n != 1 {
+		t.Fatalf("got %d evaluate spans, want 1", n)
+	}
+	if len(c.Find("sbd.distribute")) == 0 || len(c.Find("assign")) == 0 {
+		t.Fatal("engine spans missing from the trace")
+	}
+	if c.Counters()["core.evaluations"] != 1 {
+		t.Fatalf("core.evaluations = %d, want 1", c.Counters()["core.evaluations"])
+	}
+	out := SpanStats(c.Records())
+	if !strings.Contains(out, "total (evaluate)") {
+		t.Fatalf("SpanStats output missing the evaluate root:\n%s", out)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/inplace"
 	"repro/internal/memlib"
+	"repro/internal/obs"
 	"repro/internal/sbd"
 	"repro/internal/spec"
 )
@@ -42,6 +43,9 @@ type Params struct {
 	// disjoint lifetimes assigned to the same memory share storage, so a
 	// memory is sized by its peak live words rather than their sum.
 	InPlace bool
+	// Obs is the parent telemetry span Assign attaches its span and search
+	// counters to; nil disables instrumentation at near-zero cost.
+	Obs *obs.Span
 }
 
 func (p *Params) normalize() {
@@ -243,12 +247,17 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 	if onChipCount < 1 {
 		return nil, fmt.Errorf("assign: on-chip count %d out of range", onChipCount)
 	}
+	sp := p.Obs.Child("assign")
+	defer sp.End()
 	onG, offG := partition(s, p)
+	sp.SetInt("count", int64(onChipCount))
+	sp.SetInt("groups_onchip", int64(len(onG)))
+	sp.SetInt("groups_offchip", int64(len(offG)))
 	a := &Assignment{GroupMem: make(map[string]string)}
 
 	// Off-chip: exhaustive partition search over the (few) large groups.
 	offPr := buildProblem(s, offG, pats, tech, p)
-	offBind, offPower, err := bestOffChip(offPr)
+	offBind, offPower, err := bestOffChip(offPr, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +266,7 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 
 	// On-chip: branch and bound.
 	onPr := buildProblem(s, onG, pats, tech, p)
-	bind, area, power, optimal, err := branchAndBound(onPr, onChipCount)
+	bind, area, power, optimal, err := branchAndBound(onPr, onChipCount, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +303,7 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 
 // bestOffChip searches all set partitions of the off-chip groups (at most a
 // handful) for the cheapest feasible device packing.
-func bestOffChip(pr *problem) ([]Binding, float64, error) {
+func bestOffChip(pr *problem, sp *obs.Span) ([]Binding, float64, error) {
 	n := len(pr.groups)
 	if n == 0 {
 		return nil, 0, nil
@@ -304,10 +313,12 @@ func bestOffChip(pr *problem) ([]Binding, float64, error) {
 	}
 	bestPower := math.Inf(1)
 	var bestParts [][]int
+	partitions := 0
 	assignTo := make([]int, n)
 	var rec func(i, used int)
 	rec = func(i, used int) {
 		if i == n {
+			partitions++
 			parts := make([][]int, used)
 			for gi, m := range assignTo[:n] {
 				parts[m] = append(parts[m], gi)
@@ -341,6 +352,7 @@ func bestOffChip(pr *problem) ([]Binding, float64, error) {
 		}
 	}
 	rec(0, 0)
+	sp.SetInt("offchip_partitions", int64(partitions))
 	if math.IsInf(bestPower, 1) {
 		return nil, 0, fmt.Errorf("assign: no feasible off-chip packing (port demand exceeds %d)", pr.p.MaxPorts)
 	}
@@ -388,7 +400,7 @@ const areaWeight = 0.3
 // branchAndBound finds the cheapest assignment of pr.groups into exactly
 // maxMem on-chip memories (clamped to the group count: the designer
 // allocated them, the tool uses them — Table 4's sweep axis).
-func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool, error) {
+func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, float64, bool, error) {
 	n := len(pr.groups)
 	if n == 0 {
 		return nil, 0, 0, true, nil
@@ -498,7 +510,11 @@ func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool,
 	}
 	curCost = 0
 
+	// Search-effort counters: plain locals inside the hot loop, emitted once
+	// at the end so the instrumented search runs at full speed.
 	nodes := 0
+	prunedLB := 0
+	portRejects := 0
 	exhausted := false
 	var dfs func(step int)
 	dfs = func(step int) {
@@ -518,6 +534,7 @@ func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool,
 			return
 		}
 		if curCost+lbTail[step] >= bestCost {
+			prunedLB++
 			return
 		}
 		gi := order[step]
@@ -544,6 +561,8 @@ func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool,
 				members[m] = members[m][:len(members[m])-1]
 				curCost -= memCost[m] - oldCost
 				memCost[m] = oldCost
+			} else {
+				portRejects++
 			}
 			*mems[m] = saved
 			mems[m].vec = savedVec
@@ -553,6 +572,20 @@ func branchAndBound(pr *problem, maxMem int) ([]Binding, float64, float64, bool,
 		}
 	}
 	dfs(0)
+	if sp != nil {
+		sp.SetInt("nodes", int64(nodes))
+		sp.SetInt("pruned_bound", int64(prunedLB))
+		sp.SetInt("port_rejections", int64(portRejects))
+		opt := int64(1)
+		if exhausted {
+			opt = 0
+		}
+		sp.SetInt("optimal", opt)
+		o := sp.Observer()
+		o.Counter("assign.nodes").Add(int64(nodes))
+		o.Counter("assign.pruned_bound").Add(int64(prunedLB))
+		o.Counter("assign.port_rejections").Add(int64(portRejects))
+	}
 	if math.IsInf(bestCost, 1) {
 		return nil, 0, 0, false, fmt.Errorf(
 			"assign: no feasible on-chip assignment with %d memories (conflicts demand more)", maxMem)

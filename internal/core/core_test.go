@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // fullResults runs the complete methodology once at the paper's 1024×1024
@@ -387,5 +389,91 @@ func TestWalkLength(t *testing.T) {
 	}
 	if got := walkLength(2.0, 0.5); got != 2 {
 		t.Errorf("walkLength(2, .5) = %d, want 2", got)
+	}
+}
+
+// TestRunAllTelemetrySpans runs the full methodology with a collector
+// observer and checks the span tree: one run_all root, the six methodology
+// steps (plus the profiling stage) as direct children, engine spans
+// (sbd/assign/reuse) underneath, counters populated, and the step wall
+// times bounded by the end-to-end wall time.
+func TestRunAllTelemetrySpans(t *testing.T) {
+	c := obs.NewCollector()
+	o := obs.New(c)
+	ep := DefaultEvalParams()
+	ep.Obs = o
+	if _, err := RunAll(DemoConfig{Size: 128}, ep); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := c.Find("run_all")
+	if len(roots) != 1 {
+		t.Fatalf("got %d run_all roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Parent != 0 {
+		t.Fatalf("run_all has parent %d", root.Parent)
+	}
+
+	steps := []string{"profile", "step.macp", "step.structuring",
+		"step.hierarchy", "step.budget", "step.allocation", "step.final"}
+	var stepsWallUS int64
+	for _, name := range steps {
+		recs := c.Find(name)
+		if len(recs) != 1 {
+			t.Fatalf("got %d %q spans, want 1", len(recs), name)
+		}
+		if recs[0].Parent != root.ID {
+			t.Fatalf("%q is not a direct child of run_all", name)
+		}
+		stepsWallUS += recs[0].WallUS
+	}
+	// The steps partition the run: their wall times must not exceed the
+	// end-to-end wall time (they run sequentially under the root).
+	if stepsWallUS > root.WallUS {
+		t.Fatalf("step wall sum %dus exceeds run_all wall %dus", stepsWallUS, root.WallUS)
+	}
+
+	// Engine spans must appear underneath the steps.
+	for _, name := range []string{"evaluate", "sbd.distribute", "assign",
+		"reuse.analyze", "reuse.plan", "profile.encode", "profile.spec"} {
+		if len(c.Find(name)) == 0 {
+			t.Fatalf("no %q spans recorded", name)
+		}
+	}
+	// Every evaluate span owns one sbd.distribute and at least one assign.
+	evals := c.Find("evaluate")
+	byParent := make(map[uint64][]string)
+	for _, r := range c.Records() {
+		byParent[r.Parent] = append(byParent[r.Parent], r.Name)
+	}
+	for _, e := range evals {
+		var nDist, nAsgn int
+		for _, n := range byParent[e.ID] {
+			switch n {
+			case "sbd.distribute":
+				nDist++
+			case "assign":
+				nAsgn++
+			}
+		}
+		if nDist != 1 || nAsgn < 1 {
+			t.Fatalf("evaluate span %d has %d sbd.distribute and %d assign children",
+				e.ID, nDist, nAsgn)
+		}
+	}
+
+	counters := c.Counters()
+	for _, name := range []string{"core.evaluations", "assign.nodes",
+		"sbd.balance_calls", "reuse.analyzed_accesses", "reuse.plans"} {
+		if counters[name] <= 0 {
+			t.Fatalf("counter %q = %d, want > 0 (have %v)", name, counters[name], counters)
+		}
+	}
+	if got := counters["core.evaluations"]; got != int64(len(evals)) {
+		t.Fatalf("core.evaluations = %d but %d evaluate spans", got, len(evals))
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/btpc"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -67,19 +68,39 @@ type Demonstrator struct {
 // exactly the paper's §4.1 flow (manual pruning skeleton + automatic
 // instrumentation counts).
 func BuildDemonstrator(cfg DemoConfig) (*Demonstrator, error) {
+	return buildDemonstratorObs(cfg, nil)
+}
+
+// buildDemonstratorObs is BuildDemonstrator with telemetry: the profiling
+// encode, the reuse analysis, and the spec derivation each get a child span
+// under parent (nil parent disables all of it).
+func buildDemonstratorObs(cfg DemoConfig, parent *obs.Span) (*Demonstrator, error) {
 	cfg.normalize()
 	rec := trace.NewRecorder()
 	rec.EnableAddressTrace("image")
 	src := img.Synthetic(cfg.Size, cfg.Size, cfg.Seed)
+	esp := parent.Child("profile.encode")
 	_, stats, err := btpc.Encode(src, btpc.Params{Quant: cfg.Quant}, rec)
+	if esp != nil {
+		esp.SetInt("size", int64(cfg.Size))
+		esp.SetInt("accesses", int64(rec.TotalAccesses()))
+	}
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling encode failed: %w", err)
 	}
-	prof := reuse.Analyze(rec.Addresses("image"))
+	prof := reuse.AnalyzeObserved(rec.Addresses("image"), parent)
+	ssp := parent.Child("profile.spec")
 	s, err := buildPrunedSpec(cfg, rec, stats)
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
+	if ssp != nil {
+		ssp.SetInt("groups", int64(len(s.Groups)))
+		ssp.SetInt("loops", int64(len(s.Loops)))
+	}
+	ssp.End()
 	return &Demonstrator{
 		Config:       cfg,
 		Spec:         s,

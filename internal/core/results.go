@@ -37,13 +37,27 @@ type Results struct {
 // demonstrator: profile → prune → structure → hierarchy → cycle budget →
 // allocation, choosing at each step from the accurate cost feedback.
 func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
-	demo, err := BuildDemonstrator(cfg)
+	root := ep.Obs.Start("run_all")
+	defer root.End()
+	ep.Span = root
+
+	psp := root.Child("profile")
+	demo, err := buildDemonstratorObs(cfg, psp)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	ep = ep.ScaleTo(demo.Config.Size)
 	r := &Results{Demo: demo}
+
+	msp := root.Child("step.macp")
 	r.MACP = AnalyzeMACP(demo.Spec, demo.CycleBudget, ep)
+	if msp != nil {
+		msp.SetInt("unit_macp", int64(r.MACP.UnitMACP))
+		msp.SetInt("weighted_macp", int64(r.MACP.WeightedMACP))
+		msp.SetInt("cycle_budget", int64(r.MACP.CycleBudget))
+	}
+	msp.End()
 
 	// Step 1: basic group structuring (Table 1). Decision: total power.
 	r.Structuring, err = ExploreStructuring(demo, ep)
@@ -79,6 +93,7 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	fsp := root.Child("step.final")
 	pts := make([]pareto.Point, len(r.Allocations))
 	for i, v := range r.Allocations {
 		pts[i] = pareto.Point{Label: v.Label, Area: v.Cost.OnChipArea, Power: v.Cost.TotalPower()}
@@ -90,6 +105,12 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 		}
 	}
 	r.Final = r.AllocChoice
+	if fsp != nil {
+		fsp.SetStr("choice", r.Final.Label)
+		fsp.SetFloat("total_power_mw", r.Final.Cost.TotalPower())
+		fsp.SetFloat("onchip_area_mm2", r.Final.Cost.OnChipArea)
+	}
+	fsp.End()
 	return r, nil
 }
 

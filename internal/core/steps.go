@@ -8,6 +8,7 @@ import (
 	"repro/internal/bgstruct"
 	"repro/internal/dfg"
 	"repro/internal/memlib"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/sbd"
 	"repro/internal/spec"
@@ -35,6 +36,28 @@ type EvalParams struct {
 	SBD         sbd.Params
 	Assign      assign.Params
 	OnChipCount int // allocation used for steps 1-3; Table 4 sweeps it
+
+	// Obs is the telemetry session; nil (the default) disables all
+	// instrumentation at near-zero cost. Span is the current parent span the
+	// step functions hang their spans off; EvalParams is passed by value, so
+	// each nesting level carries its own parent without races.
+	Obs  *obs.Observer
+	Span *obs.Span
+}
+
+// startSpan opens a telemetry span for one pipeline stage: a child of the
+// current parent when one is set, else a root span on the observer. The
+// returned EvalParams copy carries the new span as parent, so nested
+// Evaluate calls nest their spans underneath. Nil-safe throughout.
+func (ep EvalParams) startSpan(name string) (*obs.Span, EvalParams) {
+	var sp *obs.Span
+	if ep.Span != nil {
+		sp = ep.Span.Child(name)
+	} else {
+		sp = ep.Obs.Start(name)
+	}
+	ep.Span = sp
+	return sp, ep
 }
 
 // DefaultEvalParams returns the calibrated defaults used throughout the
@@ -90,17 +113,38 @@ type Variant struct {
 // If the requested allocation is infeasible (the conflict structure demands
 // more memories), nearby larger allocations are tried.
 func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Variant, error) {
-	dist, err := sbd.Distribute(s, budget, ep.SBD)
+	sp, ep := ep.startSpan("evaluate")
+	defer sp.End()
+	if sp != nil {
+		sp.SetStr("label", label)
+		sp.SetInt("budget", int64(budget))
+		sp.Observer().Counter("core.evaluations").Add(1)
+	}
+	sbdP := ep.SBD
+	sbdP.Obs = ep.Span
+	dist, err := sbd.Distribute(s, budget, sbdP)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", label, err)
 	}
 	pats := sbd.PrunePatterns(dist.Patterns)
+	if sp != nil {
+		sp.SetInt("patterns", int64(len(dist.Patterns)))
+		sp.SetInt("patterns_pruned", int64(len(dist.Patterns)-len(pats)))
+	}
+	asgnP := ep.Assign
+	asgnP.Obs = ep.Span
 	var asgn *assign.Assignment
+	retries := 0
 	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
-		asgn, err = assign.Assign(s, pats, ep.Tech, count, ep.Assign)
+		asgn, err = assign.Assign(s, pats, ep.Tech, count, asgnP)
 		if err == nil {
 			break
 		}
+		retries++
+	}
+	if retries > 0 && sp != nil {
+		sp.SetInt("allocation_retries", int64(retries))
+		sp.Observer().Counter("core.allocation_retries").Add(int64(retries))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: allocation failed: %w", label, err)
@@ -111,6 +155,8 @@ func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Varian
 // ExploreStructuring evaluates the basic group structuring alternatives of
 // §4.3 (Table 1): untouched, ridge compacted, and ridge+pyr merged.
 func ExploreStructuring(d *Demonstrator, ep EvalParams) ([]*Variant, error) {
+	sp, ep := ep.startSpan("step.structuring")
+	defer sp.End()
 	var out []*Variant
 	v, err := Evaluate(d.Spec, d.CycleBudget, "No structuring", ep)
 	if err != nil {
@@ -137,6 +183,7 @@ func ExploreStructuring(d *Demonstrator, ep EvalParams) ([]*Variant, error) {
 		return nil, err
 	}
 	out = append(out, v)
+	sp.SetInt("variants", int64(len(out)))
 	return out, nil
 }
 
@@ -154,6 +201,8 @@ func HierarchyLayers(size int) (ylocal, yhier reuse.Layer) {
 // ExploreHierarchy evaluates the four memory-hierarchy alternatives of
 // §4.4 (Table 2) on the given (already structured) specification.
 func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant, []*reuse.Hierarchy, error) {
+	sp, ep := ep.startSpan("step.hierarchy")
+	defer sp.End()
 	ylocal, yhier := HierarchyLayers(d.Config.Size)
 	type option struct {
 		label  string
@@ -168,8 +217,9 @@ func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant,
 	variants := make([]*Variant, len(options))
 	hierarchies := make([]*reuse.Hierarchy, len(options))
 	errs := make([]error, len(options))
+	sp.SetInt("candidates", int64(len(options)))
 	parallelEach(len(options), func(i int) {
-		h, err := reuse.Plan("image", options[i].layers, d.ImageProfile)
+		h, err := reuse.PlanObserved("image", options[i].layers, d.ImageProfile, ep.Span)
 		if err != nil {
 			errs[i] = err
 			return
@@ -222,6 +272,16 @@ func ExploreBudgetsPipelined(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]
 }
 
 func budgetSweep(s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams) ([]*BudgetPoint, error) {
+	sp, ep := ep.startSpan("step.budget")
+	defer sp.End()
+	if sp != nil {
+		sp.SetInt("points", int64(len(fracs)))
+		pipelined := int64(0)
+		if ep.SBD.Pipelined {
+			pipelined = 1
+		}
+		sp.SetInt("pipelined", pipelined)
+	}
 	variants := make([]*Variant, len(fracs))
 	parallelEach(len(fracs), func(i int) {
 		budget := uint64(float64(fullBudget) * fracs[i])
@@ -247,6 +307,7 @@ func budgetSweep(s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no feasible budget in the sweep")
 	}
+	sp.SetInt("rows", int64(len(out)))
 	return out, nil
 }
 
@@ -269,10 +330,15 @@ func ChooseBudget(points []*BudgetPoint, powerTol, areaTol float64) *BudgetPoint
 // ExploreAllocations sweeps the number of allocated on-chip memories
 // (§4.6, Table 4) at a fixed budget distribution.
 func ExploreAllocations(s *spec.Spec, dist *sbd.Distribution, counts []int, ep EvalParams) ([]*Variant, []int, error) {
+	sp, ep := ep.startSpan("step.allocation")
+	defer sp.End()
+	sp.SetInt("counts", int64(len(counts)))
 	pats := sbd.PrunePatterns(dist.Patterns)
 	asgns := make([]*assign.Assignment, len(counts))
 	parallelEach(len(counts), func(i int) {
-		if a, err := assign.Assign(s, pats, ep.Tech, counts[i], ep.Assign); err == nil {
+		ap := ep.Assign
+		ap.Obs = ep.Span
+		if a, err := assign.Assign(s, pats, ep.Tech, counts[i], ap); err == nil {
 			asgns[i] = a
 		}
 	})

@@ -1,0 +1,302 @@
+// Package obs provides exploration telemetry: hierarchical spans (wall
+// time and heap-allocation deltas per pipeline stage), atomic counters and
+// gauges, and pluggable sinks (JSONL writer, in-memory collector).
+//
+// The paper's premise is accurate feedback from the physical-memory-
+// management stage; this package gives the exploration engine itself the
+// same treatment, so a designer (or a benchmark harness) can see where
+// cycles, allocations, and search effort go across the six methodology
+// steps and the inner engines (sbd, assign, reuse).
+//
+// A nil *Observer — and every value derived from one: nil *Span, nil
+// *Counter, nil *Gauge — is valid and records nothing, at the cost of a
+// nil check per call and zero allocations. Instrumented hot paths therefore
+// run at full speed when telemetry is off, the same idiom as the nil
+// trace.Recorder.
+package obs
+
+import (
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// heapAllocs returns the cumulative heap allocation volume of the process.
+// runtime/metrics is used instead of runtime.ReadMemStats because it does
+// not stop the world, so concurrent spans (the parallel sweeps) stay cheap.
+func heapAllocs() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// Observer is the root of one telemetry session: it issues span IDs, owns
+// the counters and gauges, and fans finished spans out to its sinks.
+type Observer struct {
+	epoch  time.Time
+	sinks  []Sink
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an Observer emitting finished spans into the given sinks.
+func New(sinks ...Sink) *Observer {
+	return &Observer{
+		epoch:    time.Now(),
+		sinks:    sinks,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Start opens a root span. Safe on a nil Observer (returns nil).
+func (o *Observer) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.newSpan(name, 0)
+}
+
+func (o *Observer) newSpan(name string, parent uint64) *Span {
+	return &Span{
+		o:          o,
+		id:         o.nextID.Add(1),
+		parent:     parent,
+		name:       name,
+		start:      time.Now(),
+		startAlloc: heapAllocs(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Safe on a
+// nil Observer (returns nil, whose Add is a no-op). Hot loops should hoist
+// the returned *Counter out of the loop: the lookup takes a mutex, the Add
+// is a single atomic.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.counters[name]
+	if c == nil {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Safe on a nil
+// Observer. Gauge and counter names share one namespace in Counters().
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g := o.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Counters returns a snapshot of every counter and gauge value.
+func (o *Observer) Counters() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.counters)+len(o.gauges))
+	for n, c := range o.counters {
+		out[n] = c.v.Load()
+	}
+	for n, g := range o.gauges {
+		out[n] = g.v.Load()
+	}
+	return out
+}
+
+// Flush pushes the final counter snapshot to every sink (the JSONL sink
+// writes it as a trailing "counters" record). Call once, after the run.
+func (o *Observer) Flush() error {
+	if o == nil {
+		return nil
+	}
+	snap := o.Counters()
+	var first error
+	for _, s := range o.sinks {
+		if err := s.Flush(snap); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// valid and records nothing.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric. A nil *Gauge is valid.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label formats a labeled metric name in the usual brace syntax:
+// Label("sbd.balance", "pipelined", "true") = `sbd.balance{pipelined=true}`.
+// kv is key, value, key, value, ...; a trailing odd key is dropped.
+func Label(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Span is one timed region of the exploration. Spans form a tree via
+// Child; a span is owned by the goroutine that created it (Set* and End
+// must not race), but Child may be called concurrently from many
+// goroutines — the parallel sweeps hang their evaluation spans off one
+// shared step span. A nil *Span is valid everywhere and records nothing.
+type Span struct {
+	o          *Observer
+	id, parent uint64
+	name       string
+	start      time.Time
+	startAlloc uint64
+	fields     []kv
+	done       bool
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// Child opens a sub-span. Safe on a nil Span (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.o.newSpan(name, s.id)
+}
+
+// Observer returns the owning Observer (nil on a nil Span), the handle for
+// reaching counters from code that only holds the current span.
+func (s *Span) Observer() *Observer {
+	if s == nil {
+		return nil
+	}
+	return s.o
+}
+
+// The typed setters each nil-check before boxing the value into an
+// interface: converting after the check keeps the nil path allocation-free.
+
+// SetInt attaches an integer field to the span.
+func (s *Span) SetInt(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, kv{k, v})
+}
+
+// SetFloat attaches a float field to the span.
+func (s *Span) SetFloat(k string, v float64) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, kv{k, v})
+}
+
+// SetStr attaches a string field to the span.
+func (s *Span) SetStr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, kv{k, v})
+}
+
+// End finishes the span, computes its wall time and allocation delta, and
+// emits it to the observer's sinks. End is idempotent; later calls no-op.
+// The allocation delta is process-global, so concurrently running spans
+// each see the sum of everything allocated while they were open.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	now := time.Now()
+	alloc := heapAllocs()
+	if alloc >= s.startAlloc {
+		alloc -= s.startAlloc
+	} else {
+		alloc = 0
+	}
+	rec := &SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		StartUS:    s.start.Sub(s.o.epoch).Microseconds(),
+		WallUS:     now.Sub(s.start).Microseconds(),
+		AllocBytes: alloc,
+	}
+	if len(s.fields) > 0 {
+		rec.Fields = make(map[string]any, len(s.fields))
+		for _, f := range s.fields {
+			rec.Fields[f.k] = f.v
+		}
+	}
+	for _, sink := range s.o.sinks {
+		sink.Span(rec)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SpanRecord is a finished span as emitted to sinks. The JSON field names
+// are the trace schema contract — the golden test pins them, and the
+// README's jq recipes rely on them; do not rename casually.
+type SpanRecord struct {
+	ID         uint64         `json:"id"`
+	Parent     uint64         `json:"parent,omitempty"` // 0 (omitted) = root span
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"` // µs since the observer was created
+	WallUS     int64          `json:"wall_us"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Fields     map[string]any `json:"fields,omitempty"`
+}
+
+// Sink receives finished spans as they end, and the final counter snapshot
+// on Flush. Implementations must be safe for concurrent Span calls: the
+// parallel sweeps end spans from many goroutines.
+type Sink interface {
+	Span(rec *SpanRecord)
+	Flush(counters map[string]int64) error
+}
+
+// jsonlLine is the envelope of one JSONL trace line.
+type jsonlLine struct {
+	Type string `json:"type"`
+	*SpanRecord
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// JSONL writes one JSON object per finished span to w ("span" lines,
+// parents after their children since spans emit on End), and the counter
+// snapshot as a final "counters" line on Flush.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Span writes one span line.
+func (j *JSONL) Span(rec *SpanRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(jsonlLine{Type: "span", SpanRecord: rec})
+}
+
+// Flush writes the trailing counters line.
+func (j *JSONL) Flush(counters map[string]int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(jsonlLine{Type: "counters", Counters: counters})
+}
+
+// Collector is an in-memory sink for tests and tooling (the -stats table
+// is rendered from one).
+type Collector struct {
+	mu       sync.Mutex
+	recs     []*SpanRecord
+	counters map[string]int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Span stores the record.
+func (c *Collector) Span(rec *SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs = append(c.recs, rec)
+}
+
+// Flush stores the counter snapshot.
+func (c *Collector) Flush(counters map[string]int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters = counters
+	return nil
+}
+
+// Records returns the collected spans in emission (End) order.
+func (c *Collector) Records() []*SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*SpanRecord(nil), c.recs...)
+}
+
+// Counters returns the snapshot stored by the last Flush (nil before).
+func (c *Collector) Counters() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// Find returns every collected span with the given name.
+func (c *Collector) Find(name string) []*SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*SpanRecord
+	for _, r := range c.recs {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StatsTable renders the per-step summary of a span record set: the direct
+// children of the longest root span, in execution order, with subtree span
+// counts, wall time, share of the root, and allocation volume. Children
+// with the same name (e.g. repeated evaluations) are merged into one row.
+// This is what cmd/dtse -stats prints to stderr.
+func StatsTable(recs []*SpanRecord) string {
+	if len(recs) == 0 {
+		return "(no spans recorded)\n"
+	}
+	var root *SpanRecord
+	for _, r := range recs {
+		if r.Parent == 0 && (root == nil || r.WallUS > root.WallUS) {
+			root = r
+		}
+	}
+	if root == nil {
+		root = recs[0] // orphaned records: summarize around the first
+	}
+	children := make(map[uint64][]*SpanRecord)
+	for _, r := range recs {
+		children[r.Parent] = append(children[r.Parent], r)
+	}
+	var subtree func(id uint64) int
+	subtree = func(id uint64) int {
+		n := 1
+		for _, c := range children[id] {
+			n += subtree(c.ID)
+		}
+		return n
+	}
+
+	type row struct {
+		name         string
+		startUS      int64
+		spans, count int
+		wallUS       int64
+		alloc        uint64
+	}
+	byName := make(map[string]*row)
+	var rows []*row
+	direct := append([]*SpanRecord(nil), children[root.ID]...)
+	sort.Slice(direct, func(i, j int) bool { return direct[i].StartUS < direct[j].StartUS })
+	for _, c := range direct {
+		r := byName[c.Name]
+		if r == nil {
+			r = &row{name: c.Name, startUS: c.StartUS}
+			byName[c.Name] = r
+			rows = append(rows, r)
+		}
+		r.count++
+		r.spans += subtree(c.ID)
+		r.wallUS += c.WallUS
+		r.alloc += c.AllocBytes
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %6s %6s %12s %7s %10s\n", "step", "calls", "spans", "wall", "%", "alloc")
+	var sumUS int64
+	for _, r := range rows {
+		pct := 0.0
+		if root.WallUS > 0 {
+			pct = 100 * float64(r.wallUS) / float64(root.WallUS)
+		}
+		sumUS += r.wallUS
+		fmt.Fprintf(&b, "%-20s %6d %6d %12s %6.1f%% %10s\n",
+			r.name, r.count, r.spans, fmtUS(r.wallUS), pct, fmtBytes(r.alloc))
+	}
+	pct := 0.0
+	if root.WallUS > 0 {
+		pct = 100 * float64(sumUS) / float64(root.WallUS)
+	}
+	fmt.Fprintf(&b, "%-20s %6s %6d %12s %6.1f%% %10s\n",
+		"total ("+root.Name+")", "", subtree(root.ID), fmtUS(root.WallUS), pct, fmtBytes(root.AllocBytes))
+	return b.String()
+}
+
+func fmtUS(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).Round(10 * time.Microsecond).String()
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -20,6 +20,7 @@ package reuse
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -37,6 +38,22 @@ type Profile struct {
 // maxTracked caps the histogram; candidate layers larger than this are not
 // meaningful on-chip copy layers anyway.
 const maxTracked = 1 << 17
+
+// AnalyzeObserved is Analyze with telemetry: it wraps the stack-distance
+// computation in a "reuse.analyze" span under parent, recording the trace
+// length and cold-miss count. A nil parent reduces to plain Analyze.
+func AnalyzeObserved(addrs []int32, parent *obs.Span) *Profile {
+	sp := parent.Child("reuse.analyze")
+	defer sp.End()
+	p := Analyze(addrs)
+	if sp != nil {
+		sp.SetInt("trace_len", int64(len(addrs)))
+		sp.SetInt("cold", int64(p.cold))
+		sp.SetInt("far", int64(p.far))
+		sp.Observer().Counter("reuse.analyzed_accesses").Add(int64(len(addrs)))
+	}
+	return p
+}
 
 // Analyze computes the reuse profile of a read address trace.
 func Analyze(addrs []int32) *Profile {
@@ -128,6 +145,24 @@ type Hierarchy struct {
 	// MissRatios[i] is the fraction of the original reads that miss layer i
 	// (and must be fetched from layer i+1 or the backing array).
 	MissRatios []float64
+}
+
+// PlanObserved is Plan with telemetry: a "reuse.plan" span under parent
+// records the array, the candidate layer count, and the innermost miss
+// ratio. A nil parent reduces to plain Plan.
+func PlanObserved(array string, layers []Layer, prof *Profile, parent *obs.Span) (*Hierarchy, error) {
+	sp := parent.Child("reuse.plan")
+	defer sp.End()
+	h, err := Plan(array, layers, prof)
+	if sp != nil {
+		sp.SetStr("array", array)
+		sp.SetInt("layers", int64(len(layers)))
+		if err == nil && len(h.MissRatios) > 0 {
+			sp.SetFloat("inner_miss_ratio", h.MissRatios[0])
+		}
+		sp.Observer().Counter("reuse.plans").Add(1)
+	}
+	return h, err
 }
 
 // Plan derives a Hierarchy (with miss ratios) from a profile.

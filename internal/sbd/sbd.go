@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dfg"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -49,6 +51,10 @@ type Params struct {
 	// StructuralWeight constant). Negative disables it; zero selects the
 	// default.
 	StructuralWeight float64
+	// Obs is the parent telemetry span Distribute and BalanceLoop attach
+	// their spans and counters to; nil disables instrumentation at
+	// near-zero cost.
+	Obs *obs.Span
 	// Pipelined enables software pipelining (modulo scheduling): the
 	// per-iteration budget becomes an initiation interval, successive
 	// iterations overlap, and occupancy wraps around the interval. This
@@ -474,7 +480,9 @@ func BalanceLoop(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p 
 		s.place(id, bestC)
 	}
 	// Local search: move single accesses to cheaper cycles until fixpoint.
+	passes, moves := 0, 0
 	for pass := 0; pass < p.Passes; pass++ {
+		passes++
 		improved := false
 		for id := range l.Accesses {
 			cur := s.start[id]
@@ -492,11 +500,17 @@ func BalanceLoop(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p 
 			s.place(id, bestC)
 			if bestC != cur {
 				improved = true
+				moves++
 			}
 		}
 		if !improved {
 			break
 		}
+	}
+	if o := p.Obs.Observer(); o != nil {
+		o.Counter("sbd.balance_calls").Add(1)
+		o.Counter("sbd.balance_passes").Add(int64(passes))
+		o.Counter("sbd.balance_moves").Add(int64(moves))
 	}
 	weighted := s.cost * float64(l.Iterations)
 	structural := s.structuralCost()
@@ -658,6 +672,9 @@ func (d *Distribution) ExtraCycles() uint64 { return d.TotalBudget - d.Used }
 // transformations can help, §4.2).
 func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, error) {
 	p.normalize()
+	sp := p.Obs.Child("sbd.distribute")
+	defer sp.End()
+	sp.SetInt("budget", int64(totalBudget))
 	groups := groupsOf(s)
 
 	type curve struct {
@@ -760,5 +777,19 @@ func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, erro
 		d.Cost += sc.Cost
 	}
 	d.Patterns = PatternsOf(s, d.Loops, p)
+	if sp != nil {
+		points := 0
+		for _, cv := range curves {
+			points += len(cv.scheds)
+		}
+		sp.SetInt("loops", int64(len(curves)))
+		sp.SetInt("curve_points", int64(points))
+		sp.SetInt("patterns", int64(len(d.Patterns)))
+		sp.SetInt("conflict_groups", int64(len(RequiredPorts(d.Patterns))))
+		sp.SetInt("used", int64(d.Used))
+		sp.SetFloat("conflict_cost", d.Cost)
+		sp.Observer().Counter(
+			obs.Label("sbd.distributions", "pipelined", strconv.FormatBool(p.Pipelined))).Add(1)
+	}
 	return d, nil
 }

@@ -68,13 +68,15 @@ func (r *Recorder) EnableAddressTrace(array string) {
 	}
 }
 
-// Addresses returns the captured read-address trace of the named array
-// (nil when tracing was not enabled).
+// Addresses returns a copy of the captured read-address trace of the named
+// array (nil when tracing was not enabled). Returning a copy keeps the
+// caller from aliasing the live capture buffer, which continues to grow —
+// and may be reallocated — as the instrumented application keeps running.
 func (r *Recorder) Addresses(array string) []int32 {
 	if r == nil || r.addrs == nil || r.addrs[array] == nil {
 		return nil
 	}
-	return *r.addrs[array]
+	return append([]int32(nil), *r.addrs[array]...)
 }
 
 // Push enters a scope (e.g. a loop label). Scope names nest with "/".

@@ -343,3 +343,36 @@ func TestQuickScopeSumsMatchTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAddressesReturnsCopy is a regression test: Addresses must hand out a
+// copy of the capture buffer, not the live internal slice. Mutating the
+// returned slice — or recording further reads — must not corrupt (or be
+// visible through) an earlier snapshot.
+func TestAddressesReturnsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.EnableAddressTrace("img")
+	a := NewArray2D(r, "img", 4, 4)
+	a.Set(0, 0, 7)
+	a.Get(0, 0)
+	a.Get(1, 0)
+
+	snap := r.Addresses("img")
+	if len(snap) != 2 || snap[0] != 0 || snap[1] != 1 {
+		t.Fatalf("trace = %v, want [0 1]", snap)
+	}
+
+	// Mutating the caller's slice must not reach the recorder.
+	snap[0] = 99
+	if got := r.Addresses("img"); got[0] != 0 {
+		t.Fatalf("internal trace corrupted by caller mutation: %v", got)
+	}
+
+	// Further recording must not grow the earlier snapshot.
+	a.Get(2, 0)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot aliased the live buffer: len=%d", len(snap))
+	}
+	if got := r.Addresses("img"); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("post-mutation trace = %v, want [0 1 2]", got)
+	}
+}
