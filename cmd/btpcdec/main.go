@@ -16,26 +16,37 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "", "output PGM file (default: input with .pgm suffix, stdout if reading stdin)")
-	levels := flag.Int("levels", 0, "progressive decode: stop this many pyramid levels early (0 = full quality)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("btpcdec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output PGM file (default: input with .pgm suffix, stdout if reading stdin)")
+	levels := fs.Int("levels", 0, "progressive decode: stop this many pyramid levels early (0 = full quality)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var data []byte
 	var err error
 	outName := *out
-	switch flag.NArg() {
+	switch fs.NArg() {
 	case 0:
-		data, err = io.ReadAll(os.Stdin)
+		data, err = io.ReadAll(stdin)
 	case 1:
-		data, err = os.ReadFile(flag.Arg(0))
+		data, err = os.ReadFile(fs.Arg(0))
 		if outName == "" {
-			outName = flag.Arg(0) + ".pgm"
+			outName = fs.Arg(0) + ".pgm"
 		}
 	default:
-		err = fmt.Errorf("expected at most one input file, got %d", flag.NArg())
+		fmt.Fprintf(stderr, "btpcdec: expected at most one input file, got %d\n", fs.NArg())
+		fs.Usage()
+		return 2
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "btpcdec:", err)
+		return 1
 	}
 
 	var g *img.Gray
@@ -45,22 +56,21 @@ func main() {
 		g, err = btpc.Decode(data, nil)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "btpcdec:", err)
+		return 1
 	}
 	pgm := g.EncodePGM()
 	if outName == "" {
-		if _, err := os.Stdout.Write(pgm); err != nil {
-			fatal(err)
+		if _, err := stdout.Write(pgm); err != nil {
+			fmt.Fprintln(stderr, "btpcdec:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := os.WriteFile(outName, pgm, 0o644); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "btpcdec:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%dx%d)\n", outName, g.W, g.H)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "btpcdec:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "wrote %s (%dx%d)\n", outName, g.W, g.H)
+	return 0
 }

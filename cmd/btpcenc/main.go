@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/btpc"
@@ -18,59 +19,70 @@ import (
 )
 
 func main() {
-	quant := flag.Int("q", 1, "quantization step (1 = lossless)")
-	out := flag.String("o", "", "output file (default: input with .btpc suffix, or stdout for synthetic input)")
-	stats := flag.Bool("stats", false, "print rate statistics to stderr")
-	synth := flag.Int("synth", 512, "synthetic image size when no input file is given")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("btpcenc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quant := fs.Int("q", 1, "quantization step (1 = lossless)")
+	out := fs.String("o", "", "output file (default: input with .btpc suffix, or stdout for synthetic input)")
+	stats := fs.Bool("stats", false, "print rate statistics to stderr")
+	synth := fs.Int("synth", 512, "synthetic image size when no input file is given")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var src *img.Gray
 	var outName string
-	switch flag.NArg() {
+	switch fs.NArg() {
 	case 0:
 		src = img.Synthetic(*synth, *synth, 1)
 		outName = *out
 	case 1:
-		data, err := os.ReadFile(flag.Arg(0))
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "btpcenc:", err)
+			return 1
 		}
 		src, err = img.DecodePGM(data)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "btpcenc:", err)
+			return 1
 		}
 		outName = *out
 		if outName == "" {
-			outName = flag.Arg(0) + ".btpc"
+			outName = fs.Arg(0) + ".btpc"
 		}
 	default:
-		fatal(fmt.Errorf("expected at most one input file, got %d", flag.NArg()))
+		fmt.Fprintf(stderr, "btpcenc: expected at most one input file, got %d\n", fs.NArg())
+		fs.Usage()
+		return 2
 	}
 
 	data, st, err := btpc.Encode(src, btpc.Params{Quant: *quant}, nil)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "btpcenc:", err)
+		return 1
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%dx%d, %d levels, %d top pixels, %d bytes (%.3f bpp), %d escapes\n",
+		fmt.Fprintf(stderr, "%dx%d, %d levels, %d top pixels, %d bytes (%.3f bpp), %d escapes\n",
 			st.W, st.H, st.TopLevel, st.TopPixels, len(data), st.BitsPerPixel(), st.Escapes)
 		for ctx, n := range st.SymbolsPerCtx {
-			fmt.Fprintf(os.Stderr, "  context %d: %d symbols\n", ctx, n)
+			fmt.Fprintf(stderr, "  context %d: %d symbols\n", ctx, n)
 		}
 	}
 	if outName == "" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			fatal(err)
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintln(stderr, "btpcenc:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := os.WriteFile(outName, data, 0o644); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "btpcenc:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", outName, len(data))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "btpcenc:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "wrote %s (%d bytes)\n", outName, len(data))
+	return 0
 }

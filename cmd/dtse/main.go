@@ -4,22 +4,30 @@
 // Usage:
 //
 //	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
-//	     [-trace out.jsonl] [-stats] [-pprof addr]
+//	     [-timeout 30s] [-trace out.jsonl] [-stats] [-pprof addr]
 //
-// Without -table/-figure, everything is printed. -trace records the
-// exploration telemetry (span tree + counters) as JSON lines; -stats prints
-// a per-step wall-time/allocation summary to stderr; -pprof serves
-// net/http/pprof and the telemetry counters (expvar) on the given address
-// for live profiling of long explorations.
+// Without -table/-figure, everything is printed. -timeout bounds the whole
+// exploration: when it expires (or the process receives SIGINT/SIGTERM) the
+// run degrades to best-effort results — every sweep keeps its reference row
+// and the branch-and-bound returns its incumbent, marked "(best-effort)" in
+// the tables — instead of aborting. -trace records the exploration
+// telemetry (span tree + counters) as JSON lines; -stats prints a per-step
+// wall-time/allocation summary to stderr; -pprof serves net/http/pprof and
+// the telemetry counters (expvar) on the given address for live profiling
+// of long explorations.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -39,23 +47,47 @@ func validateSelection(table, figure int) error {
 }
 
 func main() {
-	size := flag.Int("size", 1024, "image side length (the paper's constraint is 1024)")
-	seed := flag.Uint64("seed", 1, "synthetic image seed")
-	quant := flag.Int("quant", 1, "BTPC quantizer (1 = lossless)")
-	table := flag.Int("table", 0, "print only this table (1-4)")
-	figure := flag.Int("figure", 0, "print only this figure (1-3)")
-	verbose := flag.Bool("v", false, "print the profile and the final organization details")
-	ablations := flag.Bool("ablations", false, "also run the modeling-decision ablations")
-	inplaceF := flag.Bool("inplace", false, "also print the in-place mapping (lifetime) analysis")
-	traceOut := flag.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
-	stats := flag.Bool("stats", false, "print the per-step telemetry summary to stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dtse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int("size", 1024, "image side length (the paper's constraint is 1024)")
+	seed := fs.Uint64("seed", 1, "synthetic image seed")
+	quant := fs.Int("quant", 1, "BTPC quantizer (1 = lossless)")
+	table := fs.Int("table", 0, "print only this table (1-4)")
+	figure := fs.Int("figure", 0, "print only this figure (1-3)")
+	verbose := fs.Bool("v", false, "print the profile and the final organization details")
+	ablations := fs.Bool("ablations", false, "also run the modeling-decision ablations")
+	inplaceF := fs.Bool("inplace", false, "also print the in-place mapping (lifetime) analysis")
+	timeout := fs.Duration("timeout", 0, "bound the exploration; on expiry results degrade to best-effort (0 = none)")
+	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
+	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if err := validateSelection(*table, *figure); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(stderr, "dtse: -timeout %v out of range (must be >= 0)\n", *timeout)
+		fs.Usage()
+		return 2
+	}
+
+	// Cancellation: SIGINT/SIGTERM always degrade the run gracefully; an
+	// explicit -timeout adds a deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	// Telemetry session: a JSONL sink when -trace is given, an in-memory
@@ -66,8 +98,8 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtse:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "dtse:", err)
+			return 1
 		}
 		traceFile = f
 		sinks = append(sinks, obs.NewJSONL(f))
@@ -85,81 +117,85 @@ func main() {
 		expvar.Publish("dtse", expvar.Func(func() any { return observer.Counters() }))
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "dtse: pprof server:", err)
+				fmt.Fprintln(stderr, "dtse: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "(pprof and expvar counters on http://%s/debug/pprof/)\n", *pprofAddr)
+		fmt.Fprintf(stderr, "(pprof and expvar counters on http://%s/debug/pprof/)\n", *pprofAddr)
 	}
 
 	ep := core.DefaultEvalParams()
 	ep.Obs = observer
 
 	start := time.Now()
-	res, err := core.RunAll(core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant}, ep)
+	res, err := core.RunAllContext(ctx, core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant}, ep)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtse:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dtse:", err)
+		return 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(stderr, "(deadline hit after %v: results are best-effort, not proven optimal)\n",
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	all := *table == 0 && *figure == 0
 	if all || *figure == 1 {
-		fmt.Println("Figure 1: Stepwise refinement methodology (explored tree)")
-		fmt.Println(res.Figure1())
+		fmt.Fprintln(stdout, "Figure 1: Stepwise refinement methodology (explored tree)")
+		fmt.Fprintln(stdout, res.Figure1())
 	}
 	if all || *figure == 2 {
-		fmt.Println("Figure 2: Basic group (a) compaction and (b) merging")
-		fmt.Println(res.Figure2())
+		fmt.Fprintln(stdout, "Figure 2: Basic group (a) compaction and (b) merging")
+		fmt.Fprintln(stdout, res.Figure2())
 	}
 	if all || *table == 1 {
-		fmt.Println(res.Table1().Render())
+		fmt.Fprintln(stdout, res.Table1().Render())
 	}
 	if all || *figure == 3 {
-		fmt.Println("Figure 3:", res.HierPlan.Describe())
-		fmt.Println(res.Figure3())
+		fmt.Fprintln(stdout, "Figure 3:", res.HierPlan.Describe())
+		fmt.Fprintln(stdout, res.Figure3())
 	}
 	if all || *table == 2 {
-		fmt.Println(res.Table2().Render())
+		fmt.Fprintln(stdout, res.Table2().Render())
 	}
 	if all || *table == 3 {
-		fmt.Println(res.Table3().Render())
+		fmt.Fprintln(stdout, res.Table3().Render())
 	}
 	if all || *table == 4 {
-		fmt.Println(res.Table4().Render())
+		fmt.Fprintln(stdout, res.Table4().Render())
 	}
 	if all {
-		fmt.Printf("MACP: unit %d cycles, duration-weighted %d cycles, budget %d (feasible: %v)\n",
+		fmt.Fprintf(stdout, "MACP: unit %d cycles, duration-weighted %d cycles, budget %d (feasible: %v)\n",
 			res.MACP.UnitMACP, res.MACP.WeightedMACP, res.MACP.CycleBudget, res.MACP.Feasible)
-		fmt.Printf("Decisions: %s -> %s -> extra %d cycles -> %s\n",
+		fmt.Fprintf(stdout, "Decisions: %s -> %s -> extra %d cycles -> %s\n",
 			res.StructChoice.Label, res.HierChoice.Label, res.BudgetChoice.Extra, res.AllocChoice.Label)
 	}
 	if *verbose {
-		fmt.Println("\nProfiled access counts:")
-		fmt.Println(res.Demo.Rec.Report())
-		fmt.Println("Final memory organization:")
+		fmt.Fprintln(stdout, "\nProfiled access counts:")
+		fmt.Fprintln(stdout, res.Demo.Rec.Report())
+		fmt.Fprintln(stdout, "Final memory organization:")
 		for _, b := range res.Final.Asgn.OnChip {
-			fmt.Printf("  %-8s %8d x %2d bit, %d-port, %7.2f mm², %7.2f mW: %v\n",
+			fmt.Fprintf(stdout, "  %-8s %8d x %2d bit, %d-port, %7.2f mm², %7.2f mW: %v\n",
 				b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Area, b.Power, b.Groups)
 		}
 		for _, b := range res.Final.Asgn.OffChip {
-			fmt.Printf("  %-20s %8d x %2d bit, %d-port, %7.2f mW: %v\n",
+			fmt.Fprintf(stdout, "  %-20s %8d x %2d bit, %d-port, %7.2f mW: %v\n",
 				b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Power, b.Groups)
 		}
 	}
 	if *inplaceF {
-		fmt.Println("\nIn-place mapping analysis (lifetimes of the pruned spec):")
-		fmt.Println(core.InPlaceReport(res.Demo.Spec))
+		fmt.Fprintln(stdout, "\nIn-place mapping analysis (lifetimes of the pruned spec):")
+		fmt.Fprintln(stdout, core.InPlaceReport(res.Demo.Spec))
 	}
 	if *ablations {
 		ep := core.DefaultEvalParams().ScaleTo(*size)
-		fmt.Println("\nAblations (modeling decisions, see DESIGN.md):")
+		fmt.Fprintln(stdout, "\nAblations (modeling decisions, see DESIGN.md):")
 		printAbl := func(a *core.AblationResult) {
-			fmt.Printf("  %-38s", a.Name+":")
+			fmt.Fprintf(stdout, "  %-38s", a.Name+":")
 			if a.WithoutErr != nil {
-				fmt.Printf(" with %7.1f mW; without: pipeline fails (%v)\n",
+				fmt.Fprintf(stdout, " with %7.1f mW; without: pipeline fails (%v)\n",
 					a.With.Cost.TotalPower(), a.WithoutErr)
 				return
 			}
-			fmt.Printf(" with %7.1f mW / %6.1f mm², without %7.1f mW / %6.1f mm²  (%s)\n",
+			fmt.Fprintf(stdout, " with %7.1f mW / %6.1f mm², without %7.1f mW / %6.1f mm²  (%s)\n",
 				a.With.Cost.TotalPower(), a.With.Cost.OnChipArea,
 				a.Without.Cost.TotalPower(), a.Without.Cost.OnChipArea, a.Note)
 		}
@@ -174,16 +210,17 @@ func main() {
 	}
 
 	if err := observer.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "dtse: telemetry flush:", err)
+		fmt.Fprintln(stderr, "dtse: telemetry flush:", err)
 	}
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dtse:", err)
+			fmt.Fprintln(stderr, "dtse:", err)
 		}
-		fmt.Fprintf(os.Stderr, "(telemetry trace written to %s)\n", *traceOut)
+		fmt.Fprintf(stderr, "(telemetry trace written to %s)\n", *traceOut)
 	}
 	if collector != nil {
-		fmt.Fprintf(os.Stderr, "\nExploration telemetry (per methodology step):\n%s", obs.StatsTable(collector.Records()))
+		fmt.Fprintf(stderr, "\nExploration telemetry (per methodology step):\n%s", obs.StatsTable(collector.Records()))
 	}
-	fmt.Fprintf(os.Stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

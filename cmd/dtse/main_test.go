@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 // Regression test: out-of-range -table/-figure selections used to print
 // nothing and exit 0; they must now be rejected with a usage error.
@@ -19,6 +23,63 @@ func TestValidateSelection(t *testing.T) {
 	for _, c := range invalid {
 		if err := validateSelection(c.table, c.figure); err == nil {
 			t.Errorf("validateSelection(%d, %d) = nil, want error", c.table, c.figure)
+		}
+	}
+}
+
+// TestRunTimeoutBestEffort: an immediately-expiring -timeout must degrade
+// the whole exploration to best-effort results — exit 0, the requested
+// table printed, and the deadline note on stderr — never an abort.
+func TestRunTimeoutBestEffort(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-size", "64", "-timeout", "1ns", "-table", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "best-effort") {
+		t.Fatalf("stderr missing deadline note: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table 4") {
+		t.Fatalf("degraded run printed no Table 4:\n%s", stdout.String())
+	}
+}
+
+// TestRunCompletesSmall: an unconstrained small run prints every table and
+// reports no degradation.
+func TestRunCompletesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale run skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-size", "64"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "MACP:", "Decisions:"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stdout missing %q", want)
+		}
+	}
+	if strings.Contains(stdout.String(), "best-effort") || strings.Contains(stderr.String(), "best-effort") {
+		t.Fatal("unconstrained run reported best-effort results")
+	}
+}
+
+// TestRunUsageErrors: invalid selectors and a negative timeout are usage
+// errors (exit 2) rejected before any work.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "5"},
+		{"-figure", "9"},
+		{"-timeout", "-1s"},
+		{"-nosuchflag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("%v: no usage message on stderr", args)
 		}
 	}
 }

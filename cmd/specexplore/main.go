@@ -5,17 +5,25 @@
 // Usage:
 //
 //	specexplore -budget 20000000 [-onchip 4] [-threshold 65536]
-//	            [-frame 1.0] [-inplace] [-interconnect] [-lifetimes]
-//	            [-trace out.jsonl] [-stats] spec.json
+//	            [-frame 1.0] [-timeout 30s] [-inplace] [-interconnect]
+//	            [-lifetimes] [-trace out.jsonl] [-stats] spec.json
+//
+// -timeout bounds the exploration: on expiry (or SIGINT/SIGTERM) the stage
+// returns its best-effort organization — the branch-and-bound incumbent,
+// reported as "not proven optimal" — instead of aborting.
 //
 // The specification format is documented in internal/spec (see
 // TestJSONHandWrittenSpec for a minimal example).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/inplace"
@@ -24,38 +32,89 @@ import (
 )
 
 func main() {
-	budget := flag.Uint64("budget", 0, "storage cycle budget per frame (required)")
-	onchip := flag.Int("onchip", 4, "number of on-chip memories to allocate")
-	threshold := flag.Int64("threshold", 64*1024, "words above which a group lives off-chip")
-	frame := flag.Float64("frame", 1.0, "frame period in seconds (for access rates)")
-	inplaceF := flag.Bool("inplace", false, "enable the in-place mapping extension")
-	interconnect := flag.Bool("interconnect", false, "enable the bus interconnect model")
-	lifetimes := flag.Bool("lifetimes", false, "print the lifetime analysis and exit")
-	traceOut := flag.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
-	stats := flag.Bool("stats", false, "print the per-step telemetry summary to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("expected exactly one spec file, got %d args", flag.NArg()))
+// validateFlags rejects parameter values that would otherwise produce
+// silent nonsense downstream (a zero-memory allocation, a negative
+// threshold classifying everything off-chip, a non-positive frame period
+// breaking every access rate).
+func validateFlags(onchip int, threshold int64, frame float64) error {
+	if onchip <= 0 {
+		return fmt.Errorf("specexplore: -onchip %d out of range (must be >= 1)", onchip)
 	}
-	f, err := os.Open(flag.Arg(0))
+	if threshold < 0 {
+		return fmt.Errorf("specexplore: -threshold %d out of range (must be >= 0)", threshold)
+	}
+	if frame <= 0 {
+		return fmt.Errorf("specexplore: -frame %g out of range (must be > 0)", frame)
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("specexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budget := fs.Uint64("budget", 0, "storage cycle budget per frame (required)")
+	onchip := fs.Int("onchip", 4, "number of on-chip memories to allocate")
+	threshold := fs.Int64("threshold", 64*1024, "words above which a group lives off-chip")
+	frame := fs.Float64("frame", 1.0, "frame period in seconds (for access rates)")
+	timeout := fs.Duration("timeout", 0, "bound the exploration; on expiry results degrade to best-effort (0 = none)")
+	inplaceF := fs.Bool("inplace", false, "enable the in-place mapping extension")
+	interconnect := fs.Bool("interconnect", false, "enable the bus interconnect model")
+	lifetimes := fs.Bool("lifetimes", false, "print the lifetime analysis and exit")
+	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
+	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := validateFlags(*onchip, *threshold, *frame); err != nil {
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(stderr, "specexplore: -timeout %v out of range (must be >= 0)\n", *timeout)
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "specexplore: expected exactly one spec file, got %d args\n", fs.NArg())
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "specexplore:", err)
+		return 1
 	}
 	defer f.Close()
 	s, err := spec.ReadJSON(f)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "specexplore:", err)
+		return 1
 	}
-	fmt.Printf("spec %q: %d basic groups, %d loops, %d accesses/frame\n",
+	fmt.Fprintf(stdout, "spec %q: %d basic groups, %d loops, %d accesses/frame\n",
 		s.Name, len(s.Groups), len(s.Loops), s.TotalAccesses())
 
 	if *lifetimes {
-		fmt.Print(inplace.Report(s))
-		return
+		fmt.Fprint(stdout, inplace.Report(s))
+		return 0
 	}
 	if *budget == 0 {
-		fatal(fmt.Errorf("-budget is required"))
+		fmt.Fprintln(stderr, "specexplore: -budget is required")
+		fs.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var sinks []obs.Sink
@@ -63,7 +122,8 @@ func main() {
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "specexplore:", err)
+			return 1
 		}
 		traceFile = tf
 		sinks = append(sinks, obs.NewJSONL(tf))
@@ -92,38 +152,40 @@ func main() {
 	ep.Assign.InPlace = *inplaceF
 	ep.OnChipCount = *onchip
 
-	v, err := core.Evaluate(s, *budget, s.Name, ep)
+	v, err := core.EvaluateContext(ctx, s, *budget, s.Name, ep)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "specexplore:", err)
+		return 1
 	}
-	fmt.Printf("budget %d cycles, committed %d (%d spare for the data-path)\n",
+	if ctx.Err() != nil || !v.Asgn.Optimal {
+		fmt.Fprintln(stderr, "specexplore: exploration cut short: organization is best-effort, not proven optimal")
+	}
+	fmt.Fprintf(stdout, "budget %d cycles, committed %d (%d spare for the data-path)\n",
 		*budget, v.Dist.Used, v.Dist.ExtraCycles())
-	fmt.Printf("cost: %.2f mm² on-chip area, %.2f mW on-chip, %.2f mW off-chip\n",
+	fmt.Fprintf(stdout, "cost: %.2f mm² on-chip area, %.2f mW on-chip, %.2f mW off-chip\n",
 		v.Cost.OnChipArea, v.Cost.OnChipPower, v.Cost.OffChipPower)
 	for _, b := range v.Asgn.OnChip {
-		fmt.Printf("  %-8s %8d x %2d bit %d-port %8.2f mm² %8.2f mW: %v\n",
+		fmt.Fprintf(stdout, "  %-8s %8d x %2d bit %d-port %8.2f mm² %8.2f mW: %v\n",
 			b.Mem.Name, b.Mem.Words, b.Mem.Bits, b.Mem.Ports, b.Area, b.Power, b.Groups)
 	}
 	for _, b := range v.Asgn.OffChip {
-		fmt.Printf("  %-22s %d-port %8.2f mW: %v\n",
+		fmt.Fprintf(stdout, "  %-22s %d-port %8.2f mW: %v\n",
 			b.Mem.Name, b.Mem.Ports, b.Power, b.Groups)
 	}
 
 	if err := observer.Flush(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "specexplore:", err)
+		return 1
 	}
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "specexplore:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "(telemetry trace written to %s)\n", *traceOut)
+		fmt.Fprintf(stderr, "(telemetry trace written to %s)\n", *traceOut)
 	}
 	if collector != nil {
-		fmt.Fprintf(os.Stderr, "\nExploration telemetry:\n%s", obs.StatsTable(collector.Records()))
+		fmt.Fprintf(stderr, "\nExploration telemetry:\n%s", obs.StatsTable(collector.Records()))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "specexplore:", err)
-	os.Exit(1)
+	return 0
 }

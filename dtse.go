@@ -33,6 +33,7 @@
 package dtse
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/assign"
@@ -165,6 +166,15 @@ func Explore(s *Spec, cycleBudget uint64, ep EvalParams) (*Variant, error) {
 	return core.Evaluate(s, cycleBudget, s.Name, ep)
 }
 
+// ExploreContext is Explore with deadline and cancellation support. The
+// exploration is *anytime*: when ctx expires or is canceled, each stage
+// returns its best result found so far (the assignment falls back to its
+// greedy incumbent, flagged with Assignment.Optimal=false) instead of an
+// error, so a feasible specification always yields a valid organization.
+func ExploreContext(ctx context.Context, s *Spec, cycleBudget uint64, ep EvalParams) (*Variant, error) {
+	return core.EvaluateContext(ctx, s, cycleBudget, s.Name, ep)
+}
+
 // Compact applies basic group compaction (§4.3): factor words packed into
 // one wider word.
 func Compact(s *Spec, group string, factor int) (*Spec, error) {
@@ -201,12 +211,28 @@ func ReproduceBTPC(cfg DemoConfig) (*Results, error) {
 	return core.RunAll(cfg, core.DefaultEvalParams())
 }
 
+// ReproduceBTPCContext is ReproduceBTPC with deadline and cancellation
+// support: when ctx expires the remaining exploration degrades to
+// best-effort results (sweeps keep their reference rows, searches return
+// incumbents flagged non-optimal) and a complete Results is still returned.
+func ReproduceBTPCContext(ctx context.Context, cfg DemoConfig) (*Results, error) {
+	return core.RunAllContext(ctx, cfg, core.DefaultEvalParams())
+}
+
 // ReproduceBTPCObserved is ReproduceBTPC with exploration telemetry: spans
 // and counters are recorded into the observer's sinks (see NewObserver).
 func ReproduceBTPCObserved(cfg DemoConfig, o *Observer) (*Results, error) {
+	return ReproduceBTPCObservedContext(context.Background(), cfg, o)
+}
+
+// ReproduceBTPCObservedContext combines telemetry with deadline and
+// cancellation support: the obs counters (assign.deadline_fallbacks,
+// assign.cancel_points, sbd.deadline_fallbacks, assign.result{optimal=...})
+// record where the budget went when a run degrades.
+func ReproduceBTPCObservedContext(ctx context.Context, cfg DemoConfig, o *Observer) (*Results, error) {
 	ep := core.DefaultEvalParams()
 	ep.Obs = o
-	return core.RunAll(cfg, ep)
+	return core.RunAllContext(ctx, cfg, ep)
 }
 
 // Demonstrator is a profiled BTPC application with its pruned spec.

@@ -16,9 +16,11 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/inplace"
 	"repro/internal/memlib"
@@ -26,6 +28,12 @@ import (
 	"repro/internal/sbd"
 	"repro/internal/spec"
 )
+
+// cancelCheckInterval is the amortization stride of the cancellation checks
+// in the search hot loops: the context is polled once every this many nodes
+// (or partitions), so the uncancelled path pays one integer mask per node
+// and the deadline is still honored within a fraction of a millisecond.
+const cancelCheckInterval = 1024
 
 // Params configures the assignment.
 type Params struct {
@@ -84,7 +92,12 @@ type Assignment struct {
 	OffChip  []Binding
 	GroupMem map[string]string // group -> memory name
 	Cost     Cost
-	Optimal  bool // false if the node budget stopped the search early
+	// Optimal is true when the exact search ran to completion: the
+	// organization is proven cheapest. It is false when the node budget,
+	// a deadline, or a cancellation stopped the search early — the result
+	// is then the best incumbent found so far (at worst the greedy
+	// first-fit solution), valid but not proven optimal.
+	Optimal bool
 }
 
 // problem is the shared precomputed state.
@@ -243,6 +256,16 @@ func partition(s *spec.Spec, p Params) (on, off []spec.BasicGroup) {
 // on-chip memories. Off-chip groups are packed into catalog devices by
 // exhaustive partition search (there are only a few large groups).
 func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int, p Params) (*Assignment, error) {
+	return AssignContext(context.Background(), s, pats, tech, onChipCount, p)
+}
+
+// AssignContext is Assign with deadline and cancellation support. The search
+// is *anytime*: when ctx expires or is canceled, the best incumbent found so
+// far is returned (the greedy first-fit incumbent guarantees one exists for
+// every feasible problem) with Optimal=false, never an error. Cancellation
+// is polled every cancelCheckInterval search nodes, so an uncancellable
+// context costs nothing in the hot loop.
+func AssignContext(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int, p Params) (*Assignment, error) {
 	p.normalize()
 	if onChipCount < 1 {
 		return nil, fmt.Errorf("assign: on-chip count %d out of range", onChipCount)
@@ -257,7 +280,7 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 
 	// Off-chip: exhaustive partition search over the (few) large groups.
 	offPr := buildProblem(s, offG, pats, tech, p)
-	offBind, offPower, err := bestOffChip(offPr, sp)
+	offBind, offPower, offOptimal, err := bestOffChip(ctx, offPr, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -266,14 +289,17 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 
 	// On-chip: branch and bound.
 	onPr := buildProblem(s, onG, pats, tech, p)
-	bind, area, power, optimal, err := branchAndBound(onPr, onChipCount, sp)
+	bind, area, power, onOptimal, err := branchAndBound(ctx, onPr, onChipCount, sp)
 	if err != nil {
 		return nil, err
 	}
 	a.OnChip = bind
 	a.Cost.OnChipArea = area
 	a.Cost.OnChipPower = power
-	a.Optimal = optimal
+	a.Optimal = onOptimal && offOptimal
+	if o := sp.Observer(); o != nil {
+		o.Counter(obs.Label("assign.result", "optimal", strconv.FormatBool(a.Optimal))).Add(1)
+	}
 
 	// Interconnect extension: its cost depends only on the allocation size
 	// and the total on-chip traffic, so it is added after the search rather
@@ -302,23 +328,41 @@ func Assign(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 }
 
 // bestOffChip searches all set partitions of the off-chip groups (at most a
-// handful) for the cheapest feasible device packing.
-func bestOffChip(pr *problem, sp *obs.Span) ([]Binding, float64, error) {
+// handful) for the cheapest feasible device packing. When ctx is done, the
+// search stops at the best feasible packing found so far (it keeps running
+// until one exists, so a feasible problem always yields a result) and the
+// returned optimal flag is false.
+func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, float64, bool, error) {
 	n := len(pr.groups)
 	if n == 0 {
-		return nil, 0, nil
+		return nil, 0, true, nil
 	}
 	if n > 8 {
-		return nil, 0, fmt.Errorf("assign: %d off-chip groups exceed the partition-search limit", n)
+		return nil, 0, false, fmt.Errorf("assign: %d off-chip groups exceed the partition-search limit", n)
 	}
 	bestPower := math.Inf(1)
 	var bestParts [][]int
 	partitions := 0
+	done := ctx.Done()
+	cancelChecks := 0
+	stopped := false
 	assignTo := make([]int, n)
 	var rec func(i, used int)
 	rec = func(i, used int) {
+		if stopped {
+			return
+		}
 		if i == n {
 			partitions++
+			if done != nil && partitions%cancelCheckInterval == 0 && bestParts != nil {
+				cancelChecks++
+				select {
+				case <-done:
+					stopped = true
+					return
+				default:
+				}
+			}
 			parts := make([][]int, used)
 			for gi, m := range assignTo[:n] {
 				parts[m] = append(parts[m], gi)
@@ -353,8 +397,14 @@ func bestOffChip(pr *problem, sp *obs.Span) ([]Binding, float64, error) {
 	}
 	rec(0, 0)
 	sp.SetInt("offchip_partitions", int64(partitions))
+	if o := sp.Observer(); o != nil && cancelChecks > 0 {
+		o.Counter("assign.cancel_points").Add(int64(cancelChecks))
+		if stopped {
+			o.Counter("assign.deadline_fallbacks").Add(1)
+		}
+	}
 	if math.IsInf(bestPower, 1) {
-		return nil, 0, fmt.Errorf("assign: no feasible off-chip packing (port demand exceeds %d)", pr.p.MaxPorts)
+		return nil, 0, false, fmt.Errorf("assign: no feasible off-chip packing (port demand exceeds %d)", pr.p.MaxPorts)
 	}
 	var binds []Binding
 	for i, members := range bestParts {
@@ -362,11 +412,11 @@ func bestOffChip(pr *problem, sp *obs.Span) ([]Binding, float64, error) {
 		st.recompute(pr, members)
 		pw, err := pr.offChipCost(&st)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		entry, err := pr.tech.DRAM.Select(st.words, memlib.CatalogWidth(st.bits))
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		ports := st.ports
 		if ports < 1 {
@@ -388,7 +438,7 @@ func bestOffChip(pr *problem, sp *obs.Span) ([]Binding, float64, error) {
 		sort.Strings(b.Groups)
 		binds = append(binds, b)
 	}
-	return binds, bestPower, nil
+	return binds, bestPower, !stopped, nil
 }
 
 // areaWeight is the mm²-to-mW exchange rate of the assignment objective:
@@ -400,7 +450,13 @@ const areaWeight = 0.3
 // branchAndBound finds the cheapest assignment of pr.groups into exactly
 // maxMem on-chip memories (clamped to the group count: the designer
 // allocated them, the tool uses them — Table 4's sweep axis).
-func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, float64, bool, error) {
+//
+// The search is anytime: the greedy first-fit incumbent is computed before
+// the exact search starts, so when ctx is already done the exact search is
+// skipped entirely, and when ctx expires mid-search (polled every
+// cancelCheckInterval nodes) the best incumbent found so far is returned.
+// Both cases report optimal=false.
+func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, float64, bool, error) {
 	n := len(pr.groups)
 	if n == 0 {
 		return nil, 0, 0, true, nil
@@ -516,15 +572,37 @@ func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, 
 	prunedLB := 0
 	portRejects := 0
 	exhausted := false
+	stopped := false // ctx deadline/cancellation hit (vs. node-budget exhaustion)
+	done := ctx.Done()
+	cancelChecks := 0
+	if done != nil {
+		// Entry check: an already-expired context skips the exact search
+		// entirely and returns the greedy incumbent.
+		cancelChecks++
+		select {
+		case <-done:
+			stopped = true
+		default:
+		}
+	}
 	var dfs func(step int)
 	dfs = func(step int) {
-		if exhausted {
+		if exhausted || stopped {
 			return
 		}
 		nodes++
 		if nodes > pr.p.NodeBudget {
 			exhausted = true
 			return
+		}
+		if done != nil && nodes%cancelCheckInterval == 0 {
+			cancelChecks++
+			select {
+			case <-done:
+				stopped = true
+				return
+			default:
+			}
 		}
 		if step == n {
 			if curCost < bestCost {
@@ -571,13 +649,15 @@ func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, 
 			}
 		}
 	}
-	dfs(0)
+	if !stopped {
+		dfs(0)
+	}
 	if sp != nil {
 		sp.SetInt("nodes", int64(nodes))
 		sp.SetInt("pruned_bound", int64(prunedLB))
 		sp.SetInt("port_rejections", int64(portRejects))
 		opt := int64(1)
-		if exhausted {
+		if exhausted || stopped {
 			opt = 0
 		}
 		sp.SetInt("optimal", opt)
@@ -585,6 +665,12 @@ func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, 
 		o.Counter("assign.nodes").Add(int64(nodes))
 		o.Counter("assign.pruned_bound").Add(int64(prunedLB))
 		o.Counter("assign.port_rejections").Add(int64(portRejects))
+		if cancelChecks > 0 {
+			o.Counter("assign.cancel_points").Add(int64(cancelChecks))
+		}
+		if stopped {
+			o.Counter("assign.deadline_fallbacks").Add(1)
+		}
 	}
 	if math.IsInf(bestCost, 1) {
 		return nil, 0, 0, false, fmt.Errorf(
@@ -633,7 +719,7 @@ func branchAndBound(pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, 
 		totalPower += power
 		idx++
 	}
-	return binds, totalArea, totalPower, !exhausted, nil
+	return binds, totalArea, totalPower, !exhausted && !stopped, nil
 }
 
 // Greedy returns the greedy-only assignment (the baseline a designer
@@ -654,10 +740,21 @@ func Greedy(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, onChipCount int
 // Sweep evaluates a range of on-chip allocation sizes (Table 4's axis) and
 // returns one assignment per count, skipping infeasible counts.
 func Sweep(s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, counts []int, p Params) ([]*Assignment, []int, error) {
+	return SweepContext(context.Background(), s, pats, tech, counts, p)
+}
+
+// SweepContext is Sweep with deadline and cancellation support: once the
+// context is done and at least one count has been evaluated, no further
+// counts are launched (each evaluated count itself degrades to its greedy
+// incumbent under an expired context, so the sweep drains quickly).
+func SweepContext(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, counts []int, p Params) ([]*Assignment, []int, error) {
 	var out []*Assignment
 	var okCounts []int
 	for _, c := range counts {
-		a, err := Assign(s, pats, tech, c, p)
+		if len(out) > 0 && ctx.Err() != nil {
+			break
+		}
+		a, err := AssignContext(ctx, s, pats, tech, c, p)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestEvaluateContextCanceled: a canceled context must still produce a
+// complete variant — distribution, assignment, cost — flagged non-optimal.
+func TestEvaluateContextCanceled(t *testing.T) {
+	d, err := BuildDemonstrator(DemoConfig{Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := EvaluateContext(ctx, d.Spec, d.CycleBudget, "canceled", DefaultEvalParams().ScaleTo(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dist == nil || v.Asgn == nil {
+		t.Fatal("degraded variant missing distribution or assignment")
+	}
+	if !v.Dist.Degraded {
+		t.Fatal("canceled distribution not flagged Degraded")
+	}
+	if v.Asgn.Optimal {
+		t.Fatal("canceled assignment claims optimality")
+	}
+	if v.Cost.TotalPower() <= 0 {
+		t.Fatalf("degraded variant has no cost: %+v", v.Cost)
+	}
+}
+
+// TestRunAllContextCanceled runs the whole methodology under an
+// already-canceled context: every step must degrade to a best-effort result
+// rather than fail, and the final organization must be flagged non-optimal.
+// The profiling encode is not cancelable, so the wall-clock bound covers
+// everything after it.
+func TestRunAllContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := RunAllContext(ctx, DemoConfig{Size: 64}, DefaultEvalParams().ScaleTo(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("canceled RunAll took %v", el)
+	}
+	if res.Final == nil || res.Final.Asgn == nil {
+		t.Fatal("degraded run has no final organization")
+	}
+	if res.Final.Asgn.Optimal {
+		t.Fatal("canceled run claims a proven-optimal final organization")
+	}
+	// Each table must still have at least its reference row.
+	if len(res.Structuring) == 0 || len(res.Hierarchy) == 0 ||
+		len(res.Budgets) == 0 || len(res.Allocations) == 0 {
+		t.Fatalf("degraded run dropped a whole table: %d/%d/%d/%d rows",
+			len(res.Structuring), len(res.Hierarchy), len(res.Budgets), len(res.Allocations))
+	}
+	if res.StructChoice == nil || res.HierChoice == nil ||
+		res.BudgetChoice == nil || res.AllocChoice == nil {
+		t.Fatal("degraded run left a step without a choice")
+	}
+}
+
+// TestRunAllContextUncanceledMatchesRunAll: threading a background context
+// through must not change the result of an unconstrained run.
+func TestRunAllContextUncanceledMatchesRunAll(t *testing.T) {
+	ep := DefaultEvalParams().ScaleTo(64)
+	a, err := RunAll(DemoConfig{Size: 64}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAllContext(context.Background(), DemoConfig{Size: 64}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final.Cost != b.Final.Cost {
+		t.Fatalf("context-threaded run diverged: %+v vs %+v", a.Final.Cost, b.Final.Cost)
+	}
+	if !a.Final.Asgn.Optimal || !b.Final.Asgn.Optimal {
+		t.Fatal("unconstrained run not proven optimal")
+	}
+}

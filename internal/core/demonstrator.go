@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -75,6 +76,14 @@ func BuildDemonstrator(cfg DemoConfig) (*Demonstrator, error) {
 // encode, the reuse analysis, and the spec derivation each get a child span
 // under parent (nil parent disables all of it).
 func buildDemonstratorObs(cfg DemoConfig, parent *obs.Span) (*Demonstrator, error) {
+	return buildDemonstratorObsContext(context.Background(), cfg, parent)
+}
+
+// buildDemonstratorObsContext adds cancellation support: the reuse analysis
+// truncates its trace when ctx expires. The profiling encode itself is not
+// cancelable (the codec has no cancellation points); use small image sizes
+// when operating under tight deadlines.
+func buildDemonstratorObsContext(ctx context.Context, cfg DemoConfig, parent *obs.Span) (*Demonstrator, error) {
 	cfg.normalize()
 	rec := trace.NewRecorder()
 	rec.EnableAddressTrace("image")
@@ -89,7 +98,7 @@ func buildDemonstratorObs(cfg DemoConfig, parent *obs.Span) (*Demonstrator, erro
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling encode failed: %w", err)
 	}
-	prof := reuse.AnalyzeObserved(rec.Addresses("image"), parent)
+	prof := reuse.AnalyzeObservedContext(ctx, rec.Addresses("image"), parent)
 	ssp := parent.Child("profile.spec")
 	s, err := buildPrunedSpec(cfg, rec, stats)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pareto"
@@ -37,12 +38,22 @@ type Results struct {
 // demonstrator: profile → prune → structure → hierarchy → cycle budget →
 // allocation, choosing at each step from the accurate cost feedback.
 func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
+	return RunAllContext(context.Background(), cfg, ep)
+}
+
+// RunAllContext is RunAll with deadline and cancellation support. The run is
+// *anytime*: when ctx expires, every remaining step degrades (sweeps keep
+// their reference row, searches return their incumbents flagged
+// Optimal=false) and a complete, valid Results is still produced. The
+// profiling encode itself is not cancelable; the context takes effect from
+// the reuse analysis onward.
+func RunAllContext(ctx context.Context, cfg DemoConfig, ep EvalParams) (*Results, error) {
 	root := ep.Obs.Start("run_all")
 	defer root.End()
 	ep.Span = root
 
 	psp := root.Child("profile")
-	demo, err := buildDemonstratorObs(cfg, psp)
+	demo, err := buildDemonstratorObsContext(ctx, cfg, psp)
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -60,14 +71,14 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 	msp.End()
 
 	// Step 1: basic group structuring (Table 1). Decision: total power.
-	r.Structuring, err = ExploreStructuring(demo, ep)
+	r.Structuring, err = ExploreStructuringContext(ctx, demo, ep)
 	if err != nil {
 		return nil, err
 	}
 	r.StructChoice = minPower(r.Structuring)
 
 	// Step 2: memory hierarchy (Table 2).
-	r.Hierarchy, r.Hierarchies, err = ExploreHierarchy(r.StructChoice.Spec, demo, ep)
+	r.Hierarchy, r.Hierarchies, err = ExploreHierarchyContext(ctx, r.StructChoice.Spec, demo, ep)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +91,7 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 
 	// Step 3: storage cycle budget (Table 3). Decision: spare as many
 	// data-path cycles as possible at little memory-organization cost.
-	r.Budgets, err = ExploreBudgets(r.HierChoice.Spec, demo.CycleBudget, ep)
+	r.Budgets, err = ExploreBudgetsContext(ctx, r.HierChoice.Spec, demo.CycleBudget, ep)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +99,8 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 
 	// Step 4: allocation sweep (Table 4). Decision: weighted area/power.
 	counts := []int{4, 5, 8, 10, 14}
-	r.Allocations, r.AllocCounts, err = ExploreAllocations(
-		r.BudgetChoice.Spec, r.BudgetChoice.Dist, counts, ep)
+	r.Allocations, r.AllocCounts, err = ExploreAllocationsContext(
+		ctx, r.BudgetChoice.Spec, r.BudgetChoice.Dist, counts, ep)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +135,21 @@ func minPower(vs []*Variant) *Variant {
 	return best
 }
 
+// costLabel is the table label of a variant: proven-optimal organizations
+// show plain, best-effort ones (deadline, cancellation, or node-budget
+// exhaustion stopped the exact search) are marked.
+func costLabel(v *Variant) string {
+	if v.Asgn != nil && !v.Asgn.Optimal {
+		return v.Label + " (best-effort)"
+	}
+	return v.Label
+}
+
 // Table1 renders the basic group structuring costs (paper Table 1).
 func (r *Results) Table1() *report.Table {
 	t := report.CostTable("Table 1: Basic group structuring for the BTPC application", "Version")
 	for _, v := range r.Structuring {
-		t.AddRow(report.CostRow(v.Label, v.Cost)...)
+		t.AddRow(report.CostRow(costLabel(v), v.Cost)...)
 	}
 	return t
 }
@@ -137,7 +158,7 @@ func (r *Results) Table1() *report.Table {
 func (r *Results) Table2() *report.Table {
 	t := report.CostTable("Table 2: Memory hierarchy decision for the BTPC application", "Version")
 	for _, v := range r.Hierarchy {
-		t.AddRow(report.CostRow(v.Label, v.Cost)...)
+		t.AddRow(report.CostRow(costLabel(v), v.Cost)...)
 	}
 	return t
 }
@@ -165,7 +186,7 @@ func (r *Results) Table3() *report.Table {
 func (r *Results) Table4() *report.Table {
 	t := report.CostTable("Table 4: Different memory allocations for the BTPC application", "Version")
 	for _, v := range r.Allocations {
-		t.AddRow(report.CostRow(v.Label, v.Cost)...)
+		t.AddRow(report.CostRow(costLabel(v), v.Cost)...)
 	}
 	return t
 }

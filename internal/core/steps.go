@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,10 +18,25 @@ import (
 // parallelEach runs f(0..n-1) concurrently. Evaluations only read the
 // shared specification, so the sweeps parallelize safely; results are
 // collected by index, keeping every exploration deterministic.
-func parallelEach(n int, f func(i int)) {
+//
+// Cancellation propagates at spawn time: once ctx is done, items beyond the
+// first are not launched. Item 0 always runs — it is each sweep's reference
+// point (the full budget, the smallest allocation), so even a fully expired
+// context yields at least one row, and that row itself degrades internally
+// via the context it is handed.
+func parallelEach(ctx context.Context, n int, f func(i int)) {
+	done := ctx.Done()
 	var wg sync.WaitGroup
-	wg.Add(n)
 	for i := 0; i < n; i++ {
+		if i > 0 && done != nil {
+			select {
+			case <-done:
+				wg.Wait()
+				return
+			default:
+			}
+		}
+		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			f(i)
@@ -113,6 +129,15 @@ type Variant struct {
 // If the requested allocation is infeasible (the conflict structure demands
 // more memories), nearby larger allocations are tried.
 func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Variant, error) {
+	return EvaluateContext(context.Background(), s, budget, label, ep)
+}
+
+// EvaluateContext is Evaluate with deadline and cancellation support. The
+// evaluation is *anytime*: under an expired context both stages degrade
+// (sbd commits minimum-budget schedules, assign returns its greedy
+// incumbent with Optimal=false) rather than erroring, so a feasible
+// specification always yields a valid — if conservative — cost estimate.
+func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label string, ep EvalParams) (*Variant, error) {
 	sp, ep := ep.startSpan("evaluate")
 	defer sp.End()
 	if sp != nil {
@@ -122,7 +147,7 @@ func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Varian
 	}
 	sbdP := ep.SBD
 	sbdP.Obs = ep.Span
-	dist, err := sbd.Distribute(s, budget, sbdP)
+	dist, err := sbd.DistributeContext(ctx, s, budget, sbdP)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", label, err)
 	}
@@ -136,7 +161,7 @@ func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Varian
 	var asgn *assign.Assignment
 	retries := 0
 	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
-		asgn, err = assign.Assign(s, pats, ep.Tech, count, asgnP)
+		asgn, err = assign.AssignContext(ctx, s, pats, ep.Tech, count, asgnP)
 		if err == nil {
 			break
 		}
@@ -155,34 +180,46 @@ func Evaluate(s *spec.Spec, budget uint64, label string, ep EvalParams) (*Varian
 // ExploreStructuring evaluates the basic group structuring alternatives of
 // §4.3 (Table 1): untouched, ridge compacted, and ridge+pyr merged.
 func ExploreStructuring(d *Demonstrator, ep EvalParams) ([]*Variant, error) {
+	return ExploreStructuringContext(context.Background(), d, ep)
+}
+
+// ExploreStructuringContext is ExploreStructuring with cancellation support:
+// the untouched variant is always evaluated (it is the baseline every other
+// step can fall back to); under an expired context the structured
+// alternatives are skipped.
+func ExploreStructuringContext(ctx context.Context, d *Demonstrator, ep EvalParams) ([]*Variant, error) {
 	sp, ep := ep.startSpan("step.structuring")
 	defer sp.End()
 	var out []*Variant
-	v, err := Evaluate(d.Spec, d.CycleBudget, "No structuring", ep)
+	v, err := EvaluateContext(ctx, d.Spec, d.CycleBudget, "No structuring", ep)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, v)
 
-	compacted, err := bgstruct.Compact(d.Spec, "ridge", 3)
-	if err != nil {
-		return nil, err
+	if ctx.Err() == nil {
+		compacted, err := bgstruct.Compact(d.Spec, "ridge", 3)
+		if err != nil {
+			return nil, err
+		}
+		v, err = EvaluateContext(ctx, compacted, d.CycleBudget, "ridge compacted", ep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
 	}
-	v, err = Evaluate(compacted, d.CycleBudget, "ridge compacted", ep)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, v)
 
-	merged, err := bgstruct.Merge(d.Spec, "ridge", "pyr", "pyrridge")
-	if err != nil {
-		return nil, err
+	if ctx.Err() == nil {
+		merged, err := bgstruct.Merge(d.Spec, "ridge", "pyr", "pyrridge")
+		if err != nil {
+			return nil, err
+		}
+		v, err = EvaluateContext(ctx, merged, d.CycleBudget, "ridge and pyr merged", ep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
 	}
-	v, err = Evaluate(merged, d.CycleBudget, "ridge and pyr merged", ep)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, v)
 	sp.SetInt("variants", int64(len(out)))
 	return out, nil
 }
@@ -201,6 +238,13 @@ func HierarchyLayers(size int) (ylocal, yhier reuse.Layer) {
 // ExploreHierarchy evaluates the four memory-hierarchy alternatives of
 // §4.4 (Table 2) on the given (already structured) specification.
 func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant, []*reuse.Hierarchy, error) {
+	return ExploreHierarchyContext(context.Background(), s, d, ep)
+}
+
+// ExploreHierarchyContext is ExploreHierarchy with cancellation support:
+// candidates not launched before the context expired are dropped from the
+// result (the no-hierarchy baseline is always evaluated).
+func ExploreHierarchyContext(ctx context.Context, s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant, []*reuse.Hierarchy, error) {
 	sp, ep := ep.startSpan("step.hierarchy")
 	defer sp.End()
 	ylocal, yhier := HierarchyLayers(d.Config.Size)
@@ -218,7 +262,7 @@ func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant,
 	hierarchies := make([]*reuse.Hierarchy, len(options))
 	errs := make([]error, len(options))
 	sp.SetInt("candidates", int64(len(options)))
-	parallelEach(len(options), func(i int) {
+	parallelEach(ctx, len(options), func(i int) {
 		h, err := reuse.PlanObserved("image", options[i].layers, d.ImageProfile, ep.Span)
 		if err != nil {
 			errs[i] = err
@@ -229,7 +273,7 @@ func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant,
 			errs[i] = err
 			return
 		}
-		v, err := Evaluate(applied, d.CycleBudget, options[i].label, ep)
+		v, err := EvaluateContext(ctx, applied, d.CycleBudget, options[i].label, ep)
 		if err != nil {
 			errs[i] = err
 			return
@@ -242,7 +286,19 @@ func ExploreHierarchy(s *spec.Spec, d *Demonstrator, ep EvalParams) ([]*Variant,
 			return nil, nil, err
 		}
 	}
-	return variants, hierarchies, nil
+	// Compact the candidates parallelEach never launched (expired context):
+	// the launched ones all evaluated (or errored above), so nil means
+	// skipped, and variants/hierarchies stay index-aligned.
+	outV := variants[:0]
+	outH := hierarchies[:0]
+	for i, v := range variants {
+		if v == nil {
+			continue
+		}
+		outV = append(outV, v)
+		outH = append(outH, hierarchies[i])
+	}
+	return outV, outH, nil
 }
 
 // BudgetPoint is one row of the cycle-budget exploration (Table 3).
@@ -256,8 +312,15 @@ type BudgetPoint struct {
 // real-time maximum (§4.5, Table 3). The sweep stops when the budget drops
 // below the weighted MACP.
 func ExploreBudgets(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
+	return ExploreBudgetsContext(context.Background(), s, fullBudget, ep)
+}
+
+// ExploreBudgetsContext is ExploreBudgets with cancellation support: budget
+// points not launched before the context expired are dropped (the full
+// budget — the sweep's reference row — is always evaluated).
+func ExploreBudgetsContext(ctx context.Context, s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
 	fracs := []float64{1.0, 0.95, 0.90, 0.85, 0.82, 0.80, 0.78, 0.75, 0.72, 0.70, 0.68}
-	return budgetSweep(s, fullBudget, fracs, ep)
+	return budgetSweep(ctx, s, fullBudget, fracs, ep)
 }
 
 // ExploreBudgetsPipelined extends the Table 3 sweep below the dependence
@@ -266,12 +329,18 @@ func ExploreBudgets(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPo
 // off-chip access overlap, which is where the paper's off-chip power jump
 // at the tightest budget comes from.
 func ExploreBudgetsPipelined(s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
-	ep.SBD.Pipelined = true
-	fracs := []float64{0.68, 0.60, 0.52, 0.45, 0.40, 0.34, 0.30, 0.26, 0.22}
-	return budgetSweep(s, fullBudget, fracs, ep)
+	return ExploreBudgetsPipelinedContext(context.Background(), s, fullBudget, ep)
 }
 
-func budgetSweep(s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams) ([]*BudgetPoint, error) {
+// ExploreBudgetsPipelinedContext is ExploreBudgetsPipelined with
+// cancellation support (see ExploreBudgetsContext).
+func ExploreBudgetsPipelinedContext(ctx context.Context, s *spec.Spec, fullBudget uint64, ep EvalParams) ([]*BudgetPoint, error) {
+	ep.SBD.Pipelined = true
+	fracs := []float64{0.68, 0.60, 0.52, 0.45, 0.40, 0.34, 0.30, 0.26, 0.22}
+	return budgetSweep(ctx, s, fullBudget, fracs, ep)
+}
+
+func budgetSweep(ctx context.Context, s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams) ([]*BudgetPoint, error) {
 	sp, ep := ep.startSpan("step.budget")
 	defer sp.End()
 	if sp != nil {
@@ -283,9 +352,9 @@ func budgetSweep(s *spec.Spec, fullBudget uint64, fracs []float64, ep EvalParams
 		sp.SetInt("pipelined", pipelined)
 	}
 	variants := make([]*Variant, len(fracs))
-	parallelEach(len(fracs), func(i int) {
+	parallelEach(ctx, len(fracs), func(i int) {
 		budget := uint64(float64(fullBudget) * fracs[i])
-		v, err := Evaluate(s, budget, fmt.Sprintf("budget %.0f%%", 100*fracs[i]), ep)
+		v, err := EvaluateContext(ctx, s, budget, fmt.Sprintf("budget %.0f%%", 100*fracs[i]), ep)
 		if err != nil {
 			return // below MACP or infeasible allocation: not a row
 		}
@@ -330,15 +399,22 @@ func ChooseBudget(points []*BudgetPoint, powerTol, areaTol float64) *BudgetPoint
 // ExploreAllocations sweeps the number of allocated on-chip memories
 // (§4.6, Table 4) at a fixed budget distribution.
 func ExploreAllocations(s *spec.Spec, dist *sbd.Distribution, counts []int, ep EvalParams) ([]*Variant, []int, error) {
+	return ExploreAllocationsContext(context.Background(), s, dist, counts, ep)
+}
+
+// ExploreAllocationsContext is ExploreAllocations with cancellation support:
+// counts not launched before the context expired are dropped (the first
+// count is always evaluated).
+func ExploreAllocationsContext(ctx context.Context, s *spec.Spec, dist *sbd.Distribution, counts []int, ep EvalParams) ([]*Variant, []int, error) {
 	sp, ep := ep.startSpan("step.allocation")
 	defer sp.End()
 	sp.SetInt("counts", int64(len(counts)))
 	pats := sbd.PrunePatterns(dist.Patterns)
 	asgns := make([]*assign.Assignment, len(counts))
-	parallelEach(len(counts), func(i int) {
+	parallelEach(ctx, len(counts), func(i int) {
 		ap := ep.Assign
 		ap.Obs = ep.Span
-		if a, err := assign.Assign(s, pats, ep.Tech, counts[i], ap); err == nil {
+		if a, err := assign.AssignContext(ctx, s, pats, ep.Tech, counts[i], ap); err == nil {
 			asgns[i] = a
 		}
 	})

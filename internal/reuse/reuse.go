@@ -18,6 +18,7 @@
 package reuse
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/obs"
@@ -43,20 +44,43 @@ const maxTracked = 1 << 17
 // computation in a "reuse.analyze" span under parent, recording the trace
 // length and cold-miss count. A nil parent reduces to plain Analyze.
 func AnalyzeObserved(addrs []int32, parent *obs.Span) *Profile {
+	return AnalyzeObservedContext(context.Background(), addrs, parent)
+}
+
+// AnalyzeObservedContext is AnalyzeObserved with cancellation support (see
+// AnalyzeContext for the truncation semantics).
+func AnalyzeObservedContext(ctx context.Context, addrs []int32, parent *obs.Span) *Profile {
 	sp := parent.Child("reuse.analyze")
 	defer sp.End()
-	p := Analyze(addrs)
+	p := AnalyzeContext(ctx, addrs)
 	if sp != nil {
 		sp.SetInt("trace_len", int64(len(addrs)))
 		sp.SetInt("cold", int64(p.cold))
 		sp.SetInt("far", int64(p.far))
-		sp.Observer().Counter("reuse.analyzed_accesses").Add(int64(len(addrs)))
+		if p.total < uint64(len(addrs)) {
+			sp.SetInt("truncated_at", int64(p.total))
+		}
+		sp.Observer().Counter("reuse.analyzed_accesses").Add(int64(p.total))
 	}
 	return p
 }
 
+// analyzeCheckInterval is the cancellation-poll stride of the stack-distance
+// loop: with ~100 ns per position, 64Ki positions keep the deadline honored
+// within ~10 ms while the uncancelled path pays one mask per position.
+const analyzeCheckInterval = 64 * 1024
+
 // Analyze computes the reuse profile of a read address trace.
 func Analyze(addrs []int32) *Profile {
+	return AnalyzeContext(context.Background(), addrs)
+}
+
+// AnalyzeContext is Analyze with cancellation support: when ctx expires
+// mid-trace, the profile of the prefix processed so far is returned (Total
+// reports the truncated length, so miss ratios stay consistent). Stack
+// distances are a property of the trace prefix, so a truncated profile is a
+// valid — just lower-confidence — reuse estimate.
+func AnalyzeContext(ctx context.Context, addrs []int32) *Profile {
 	p := &Profile{hist: make([]uint64, 1), cap: maxTracked, total: uint64(len(addrs))}
 	if len(addrs) == 0 {
 		return p
@@ -77,8 +101,17 @@ func Analyze(addrs []int32) *Profile {
 		}
 		return s
 	}
+	done := ctx.Done()
 	last := make(map[int32]int, 1024)
 	for t, a := range addrs {
+		if done != nil && t > 0 && t%analyzeCheckInterval == 0 {
+			select {
+			case <-done:
+				p.total = uint64(t) // profile of the processed prefix
+				return p
+			default:
+			}
+		}
 		if lt, seen := last[a]; seen {
 			// Distinct addresses touched strictly between lt and t, plus
 			// the element's own stack slot.

@@ -1,0 +1,91 @@
+package sbd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDistributeContextCanceled: an already-canceled context must still
+// produce a feasible distribution — every loop scheduled at its minimum
+// budget — flagged Degraded, without errors.
+func TestDistributeContextCanceled(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := DistributeContext(ctx, s, 40_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded {
+		t.Fatal("canceled distribution not flagged Degraded")
+	}
+	if len(d.Loops) != len(s.Loops) {
+		t.Fatalf("%d loop schedules for %d loops", len(d.Loops), len(s.Loops))
+	}
+	if d.Used > d.TotalBudget {
+		t.Fatalf("used %d exceeds budget %d", d.Used, d.TotalBudget)
+	}
+	for _, ls := range d.Loops {
+		if ls == nil || len(ls.Start) == 0 {
+			t.Fatalf("loop %v has no schedule", ls)
+		}
+	}
+	// Full exploration with the same generous budget reaches cost 0
+	// (TestDistributeSpendsWhereItHelps); the degraded result may be worse
+	// but must never be better than the optimum.
+	full, err := Distribute(s, 40_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost < full.Cost {
+		t.Fatalf("degraded cost %.1f below full exploration cost %.1f", d.Cost, full.Cost)
+	}
+}
+
+// TestDistributeContextCanceledStillInfeasible: cancellation must not mask
+// real infeasibility — a budget below the weighted MACP errors either way.
+func TestDistributeContextCanceledStillInfeasible(t *testing.T) {
+	s := fanInSpec(t, 4, 5, 1000) // weighted MACP = 7 * 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DistributeContext(ctx, s, 6999, Params{}); err == nil {
+		t.Fatal("budget below MACP accepted under canceled context")
+	}
+}
+
+// TestDistributeContextIsFast: the ~100ms acceptance bound at the sbd layer.
+func TestDistributeContextIsFast(t *testing.T) {
+	s := fanInSpec(t, 8, 30, 100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := DistributeContext(ctx, s, 5_000_000, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("canceled Distribute took %v, want < 100ms", el)
+	}
+}
+
+// TestBalanceLoopContextCanceled: a canceled context still yields a
+// complete, feasible single-loop schedule (the first greedy pass always
+// runs; only the improvement passes are skipped).
+func TestBalanceLoopContextCanceled(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := &s.Loops[0]
+	ls, err := BalanceLoopContext(ctx, l, groupsMap(s), len(l.Accesses)+4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Start) != len(l.Accesses) {
+		t.Fatalf("schedule covers %d of %d accesses", len(ls.Start), len(l.Accesses))
+	}
+	for id, st := range ls.Start {
+		if st < 0 || st >= ls.Budget {
+			t.Fatalf("access %d starts at cycle %d outside budget %d", id, st, ls.Budget)
+		}
+	}
+}

@@ -26,6 +26,7 @@
 package sbd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -447,6 +448,14 @@ func WeightedCP(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) int {
 // schedule with its conflict cost (already weighted by the loop's iteration
 // count).
 func BalanceLoop(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) (*LoopSchedule, error) {
+	return BalanceLoopContext(context.Background(), l, groups, budget, p)
+}
+
+// BalanceLoopContext is BalanceLoop with cancellation support: when ctx is
+// done, the local-search improvement passes stop early (checked once per
+// pass) and the current schedule — always complete and feasible after the
+// initial placement — is returned.
+func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) (*LoopSchedule, error) {
 	p.normalize()
 	if len(l.Accesses) == 0 {
 		return &LoopSchedule{Loop: l.Name, Budget: budget}, nil
@@ -480,8 +489,22 @@ func BalanceLoop(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p 
 		s.place(id, bestC)
 	}
 	// Local search: move single accesses to cheaper cycles until fixpoint.
+	// The initial placement is already a complete feasible schedule, so the
+	// improvement passes can stop at any pass boundary under cancellation.
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	passes, moves := 0, 0
-	for pass := 0; pass < p.Passes; pass++ {
+	for pass := 0; pass < p.Passes && !canceled(); pass++ {
 		passes++
 		improved := false
 		for id := range l.Accesses {
@@ -660,6 +683,10 @@ type Distribution struct {
 	Loops       []*LoopSchedule
 	Patterns    []Pattern
 	Cost        float64 // Σ weighted conflict costs
+	// Degraded is true when a deadline or cancellation cut the exploration
+	// short: the distribution is valid and feasible (every loop meets its
+	// committed budget) but profitable budget moves may have been skipped.
+	Degraded bool
 }
 
 // ExtraCycles returns the cycles left over for data-path scheduling — the
@@ -671,6 +698,16 @@ func (d *Distribution) ExtraCycles() uint64 { return d.TotalBudget - d.Used }
 // is below the specification's duration-weighted MACP (then only loop
 // transformations can help, §4.2).
 func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, error) {
+	return DistributeContext(context.Background(), s, totalBudget, p)
+}
+
+// DistributeContext is Distribute with deadline and cancellation support.
+// The distribution is *anytime*: every loop's minimum-budget schedule is
+// always built (so a feasible problem always yields a feasible result), and
+// when ctx expires the remaining curve points and budget moves are skipped
+// with Degraded=true. Real infeasibility (budget below the weighted MACP)
+// still errors regardless of the context.
+func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p Params) (*Distribution, error) {
 	p.normalize()
 	sp := p.Obs.Child("sbd.distribute")
 	defer sp.End()
@@ -719,11 +756,30 @@ func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, erro
 			"sbd: budget %d below weighted MACP %d; apply loop transformations first",
 			totalBudget, minTotal)
 	}
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	degraded := false
 	// Build cost curves lazily up to max, then monotonize: a schedule found
-	// at a smaller budget is valid (and committed) at any larger one.
+	// at a smaller budget is valid (and committed) at any larger one. The
+	// minimum-budget point is always built — it is what keeps a degraded
+	// distribution feasible — so cancellation only trims the looser points.
 	for _, cv := range curves {
 		for b := cv.min; b <= cv.max; b++ {
-			sc, err := BalanceLoop(cv.loop, groups, b, p)
+			if b > cv.min && canceled() {
+				degraded = true
+				break
+			}
+			sc, err := BalanceLoopContext(ctx, cv.loop, groups, b, p)
 			if err != nil {
 				return nil, err
 			}
@@ -765,11 +821,15 @@ func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, erro
 		if best < 0 {
 			break
 		}
+		if canceled() {
+			degraded = true // a profitable move existed but was skipped
+			break
+		}
 		remaining -= uint64(bestJ-curves[best].chosen) * curves[best].loop.Iterations
 		curves[best].chosen = bestJ
 	}
 
-	d := &Distribution{TotalBudget: totalBudget}
+	d := &Distribution{TotalBudget: totalBudget, Degraded: degraded}
 	for _, cv := range curves {
 		sc := cv.scheds[cv.chosen]
 		d.Loops = append(d.Loops, sc)
@@ -790,6 +850,10 @@ func Distribute(s *spec.Spec, totalBudget uint64, p Params) (*Distribution, erro
 		sp.SetFloat("conflict_cost", d.Cost)
 		sp.Observer().Counter(
 			obs.Label("sbd.distributions", "pipelined", strconv.FormatBool(p.Pipelined))).Add(1)
+		if degraded {
+			sp.SetInt("degraded", 1)
+			sp.Observer().Counter("sbd.deadline_fallbacks").Add(1)
+		}
 	}
 	return d, nil
 }
