@@ -369,6 +369,20 @@ func BenchmarkExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreUncached is BenchmarkExplore with the session evaluation
+// cache disabled: the gap against BenchmarkExplore is the cross-variant
+// memoization win (the per-loop schedule, pattern, and prune caches).
+func BenchmarkExploreUncached(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ep := core.DefaultEvalParams()
+		ep.Memo = nil
+		if _, err := core.RunAll(core.DemoConfig{Size: 256}, ep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExploreObserved is the same run with a collector observer
 // attached; the difference against BenchmarkExplore is the telemetry
 // overhead. Per-step wall times are reported as custom metrics.

@@ -1,0 +1,277 @@
+// Command benchjson runs the performance-tracking benchmarks of the
+// reproduction programmatically (via testing.Benchmark) and writes a
+// machine-readable JSON report — the perf trajectory artifact (BENCH_N.json)
+// CI uploads and future optimization PRs compare against.
+//
+// Usage:
+//
+//	benchjson [-size 256] [-bench regexp] [-out BENCH.json] [-baseline OLD.json]
+//
+// Each benchmark is run with and without the cross-variant evaluation cache
+// where that distinction exists; the cached runs also record the session
+// cache's hit/miss counters, so the report shows how much of each sweep was
+// answered from the cache.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/sbd"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Iterations  int    `json:"iterations"`
+	// Headline cost metrics of the produced organization, so a perf
+	// regression that changes results is caught by the same artifact.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Cache is the session cache accounting of the last iteration (cached
+	// variants only).
+	Cache map[string]CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats mirrors memo.Stats for the JSON report.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Waits   int64   `json:"inflight_waits"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Report is the full benchjson artifact.
+type Report struct {
+	Size    int      `json:"size"`
+	Results []Result `json:"results"`
+	// Baseline optionally embeds a previous report (the -baseline flag), so
+	// one artifact carries the before/after comparison.
+	Baseline *Report `json:"baseline,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func cacheStats(c *memo.Cache) map[string]CacheStats {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]CacheStats)
+	for _, sp := range []memo.Space{memo.Schedule, memo.LoopPatterns, memo.PrunedPatterns, memo.Ports} {
+		st := c.Stats(sp)
+		if st.Hits+st.Misses == 0 {
+			continue
+		}
+		out[sp.String()] = CacheStats{
+			Hits: st.Hits, Misses: st.Misses, Waits: st.InflightWaits,
+			Entries: st.Entries, HitRate: st.HitRate(),
+		}
+	}
+	return out
+}
+
+// benchCase is one benchmark the emitter knows how to run.
+type benchCase struct {
+	name string
+	run  func(size int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error)
+}
+
+// runAllBench runs the full methodology with or without the session cache.
+func runAllBench(cached bool) func(int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error) {
+	return func(size int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error) {
+		var metrics map[string]float64
+		var cstats map[string]CacheStats
+		var innerErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ep := core.DefaultEvalParams()
+				if !cached {
+					ep.Memo = nil
+				}
+				res, err := core.RunAll(core.DemoConfig{Size: size}, ep)
+				if err != nil {
+					innerErr = err
+					b.Fatal(err)
+				}
+				metrics = map[string]float64{
+					"final_total_mw":     res.Final.Cost.TotalPower(),
+					"final_onchip_mm2":   res.Final.Cost.OnChipArea,
+					"budget_points":      float64(len(res.Budgets)),
+					"allocation_points":  float64(len(res.Allocations)),
+					"structuring_points": float64(len(res.Structuring)),
+				}
+				cstats = cacheStats(ep.Memo)
+			}
+		})
+		return r, metrics, cstats, innerErr
+	}
+}
+
+// budgetSweepBench runs the Table 3 budget sweep on a prebuilt demonstrator.
+func budgetSweepBench(cached bool) func(int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error) {
+	return func(size int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error) {
+		ep := core.DefaultEvalParams()
+		res, err := core.RunAll(core.DemoConfig{Size: size}, ep)
+		if err != nil {
+			return testing.BenchmarkResult{}, nil, nil, err
+		}
+		var metrics map[string]float64
+		var cstats map[string]CacheStats
+		var innerErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ep := core.DefaultEvalParams().ScaleTo(size)
+				if !cached {
+					ep.Memo = nil
+				}
+				pts, err := core.ExploreBudgets(res.HierChoice.Spec, res.Demo.CycleBudget, ep)
+				if err != nil {
+					innerErr = err
+					b.Fatal(err)
+				}
+				metrics = map[string]float64{
+					"budget_points":      float64(len(pts)),
+					"tightest_onchip_mw": pts[len(pts)-1].Cost.OnChipPower,
+				}
+				cstats = cacheStats(ep.Memo)
+			}
+		})
+		return r, metrics, cstats, innerErr
+	}
+}
+
+// distributeBench runs one full storage-cycle-budget distribution.
+func distributeBench(size int) (testing.BenchmarkResult, map[string]float64, map[string]CacheStats, error) {
+	d, err := core.BuildDemonstrator(core.DemoConfig{Size: size})
+	if err != nil {
+		return testing.BenchmarkResult{}, nil, nil, err
+	}
+	ep := core.DefaultEvalParams().ScaleTo(size)
+	var metrics map[string]float64
+	var innerErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dist, err := sbd.Distribute(d.Spec, d.CycleBudget, ep.SBD)
+			if err != nil {
+				innerErr = err
+				b.Fatal(err)
+			}
+			metrics = map[string]float64{"patterns": float64(len(dist.Patterns))}
+		}
+	})
+	return r, metrics, nil, innerErr
+}
+
+func cases() []benchCase {
+	return []benchCase{
+		{"Explore", runAllBench(true)},
+		{"ExploreUncached", runAllBench(false)},
+		{"BudgetSweep", budgetSweepBench(true)},
+		{"BudgetSweepUncached", budgetSweepBench(false)},
+		{"Distribute", distributeBench},
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int("size", 256, "demonstrator image side length")
+	benchRe := fs.String("bench", ".", "regexp selecting which benchmarks to run")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	baseline := fs.String("baseline", "", "embed this previous report as the before/after baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *size < 2 {
+		fmt.Fprintf(stderr, "benchjson: -size %d out of range (must be >= 2)\n", *size)
+		fs.Usage()
+		return 2
+	}
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: -bench %q: %v\n", *benchRe, err)
+		fs.Usage()
+		return 2
+	}
+
+	rep := Report{Size: *size}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(stderr, "benchjson: -baseline %s: %v\n", *baseline, err)
+			return 1
+		}
+		base.Baseline = nil // one level of history is enough
+		rep.Baseline = &base
+	}
+	for _, c := range cases() {
+		if !re.MatchString(c.name) {
+			continue
+		}
+		fmt.Fprintf(stderr, "running %s (size %d)...\n", c.name, *size)
+		r, metrics, cstats, err := c.run(*size)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", c.name, err)
+			return 1
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:        c.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Metrics:     metrics,
+			Cache:       cstats,
+		})
+		fmt.Fprintf(stderr, "  %s: %d ns/op, %d allocs/op\n", c.name, r.NsPerOp(), r.AllocsPerOp())
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(stderr, "benchjson: -bench %q matched no benchmarks\n", *benchRe)
+		return 2
+	}
+
+	w := stdout
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "(report written to %s)\n", *out)
+	}
+	return 0
+}

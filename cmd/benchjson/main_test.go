@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunEmitsReport: a tiny Distribute-only run must produce valid JSON
+// with the measurement fields filled in.
+func TestRunEmitsReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-size", "32", "-bench", "^Distribute$", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Size != 32 || len(rep.Results) != 1 {
+		t.Fatalf("report = %+v, want size 32 with 1 result", rep)
+	}
+	r := rep.Results[0]
+	if r.Name != "Distribute" || r.NsPerOp <= 0 || r.Iterations <= 0 {
+		t.Fatalf("result = %+v, want positive measurements for Distribute", r)
+	}
+	if r.Metrics["patterns"] <= 0 {
+		t.Fatalf("result metrics = %v, want a positive pattern count", r.Metrics)
+	}
+}
+
+// TestRunCachedReportsCacheStats: the cached budget sweep must include the
+// session cache accounting.
+func TestRunCachedReportsCacheStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-size", "32", "-bench", "^BudgetSweep$"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("want 1 result, got %+v", rep.Results)
+	}
+	cs, ok := rep.Results[0].Cache["schedule"]
+	if !ok || cs.Hits+cs.Misses == 0 {
+		t.Fatalf("cached sweep missing schedule cache stats: %+v", rep.Results[0].Cache)
+	}
+}
+
+// TestRunBaseline: -baseline embeds the previous report so one artifact
+// carries the before/after comparison, and deeper history is trimmed.
+func TestRunBaseline(t *testing.T) {
+	old := filepath.Join(t.TempDir(), "old.json")
+	prev := Report{
+		Size:     32,
+		Results:  []Result{{Name: "Distribute", NsPerOp: 123456, Iterations: 1}},
+		Baseline: &Report{Size: 16},
+	}
+	data, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(old, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-size", "32", "-bench", "^Distribute$", "-baseline", old}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Baseline == nil || len(rep.Baseline.Results) != 1 || rep.Baseline.Results[0].NsPerOp != 123456 {
+		t.Fatalf("baseline not embedded: %+v", rep.Baseline)
+	}
+	if rep.Baseline.Baseline != nil {
+		t.Fatal("baseline history not trimmed to one level")
+	}
+
+	for _, bad := range [][]string{
+		{"-bench", "^Distribute$", "-baseline", filepath.Join(t.TempDir(), "missing.json")},
+		{"-bench", "^Distribute$", "-baseline", old + "x"},
+	} {
+		var so, se bytes.Buffer
+		if code := run(bad, &so, &se); code != 1 {
+			t.Errorf("run(%v) = %d, want 1 (stderr: %s)", bad, code, se.String())
+		}
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var so, se bytes.Buffer
+	if code := run([]string{"-bench", "^Distribute$", "-baseline", garbled}, &so, &se); code != 1 {
+		t.Errorf("garbled baseline: run = %d, want 1 (stderr: %s)", code, se.String())
+	}
+}
+
+// TestRunFlagErrors: invalid flags exit 2.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-size", "1"},
+		{"-bench", "("},
+		{"-bench", "NoSuchBenchmark"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestRunBadOutPath: an unwritable -out path is an I/O failure (exit 1),
+// reported after the benchmarks ran.
+func TestRunBadOutPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-size", "32", "-bench", "^Distribute$", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "benchjson:") {
+		t.Fatalf("stderr missing error prefix:\n%s", stderr.String())
+	}
+}

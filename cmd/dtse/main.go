@@ -5,6 +5,7 @@
 //
 //	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
 //	     [-timeout 30s] [-trace out.jsonl] [-stats] [-pprof addr]
+//	     [-cache on|off]
 //
 // Without -table/-figure, everything is printed. -timeout bounds the whole
 // exploration: when it expires (or the process receives SIGINT/SIGTERM) the
@@ -65,7 +66,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
 	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
+	cache := fs.String("cache", "on", "cross-variant evaluation cache: on or off (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cache != "on" && *cache != "off" {
+		fmt.Fprintf(stderr, "dtse: -cache %q invalid (want on or off)\n", *cache)
+		fs.Usage()
 		return 2
 	}
 
@@ -125,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ep := core.DefaultEvalParams()
 	ep.Obs = observer
+	if *cache == "off" {
+		ep.Memo = nil
+	}
 
 	start := time.Now()
 	res, err := core.RunAllContext(ctx, core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant}, ep)
@@ -220,6 +230,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if collector != nil {
 		fmt.Fprintf(stderr, "\nExploration telemetry (per methodology step):\n%s", obs.StatsTable(collector.Records()))
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "\nEvaluation cache (-cache=%s):\n%s", *cache, ep.Memo.StatsString())
 	}
 	fmt.Fprintf(stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return 0

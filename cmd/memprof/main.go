@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -20,34 +21,58 @@ import (
 )
 
 func main() {
-	size := flag.Int("size", 1024, "image side length")
-	seed := flag.Uint64("seed", 1, "synthetic image seed")
-	quant := flag.Int("quant", 1, "quantization step")
-	scopes := flag.Bool("scopes", false, "also print per-loop-scope counts for the large arrays")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// validateFlags rejects parameter values the encoder would choke on.
+func validateFlags(size int, quant int) error {
+	if size < 2 {
+		return fmt.Errorf("memprof: -size %d out of range (must be >= 2)", size)
+	}
+	if quant < 1 {
+		return fmt.Errorf("memprof: -quant %d out of range (must be >= 1)", quant)
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int("size", 1024, "image side length")
+	seed := fs.Uint64("seed", 1, "synthetic image seed")
+	quant := fs.Int("quant", 1, "quantization step")
+	scopes := fs.Bool("scopes", false, "also print per-loop-scope counts for the large arrays")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := validateFlags(*size, *quant); err != nil {
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
 
 	rec := trace.NewRecorder()
 	rec.EnableAddressTrace("image")
 	src := img.Synthetic(*size, *size, *seed)
 	_, stats, err := btpc.Encode(src, btpc.Params{Quant: *quant}, rec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "memprof:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "memprof:", err)
+		return 1
 	}
 
-	fmt.Printf("BTPC encoder profile, %dx%d image, quant %d, %.3f bpp\n\n",
+	fmt.Fprintf(stdout, "BTPC encoder profile, %dx%d image, quant %d, %.3f bpp\n\n",
 		*size, *size, *quant, stats.BitsPerPixel())
-	fmt.Print(rec.Report())
+	fmt.Fprint(stdout, rec.Report())
 
 	prof := reuse.Analyze(rec.Addresses("image"))
-	fmt.Printf("\nimage array reuse (LRU miss ratio by buffer size):\n")
+	fmt.Fprintf(stdout, "\nimage array reuse (LRU miss ratio by buffer size):\n")
 	for _, s := range []int64{4, 12, 64, 256, 1024, 5 * int64(*size), 4 * int64(*size) * int64(*size) / 100} {
-		fmt.Printf("  %8d words: %5.1f%%\n", s, 100*prof.MissRatio(s))
+		fmt.Fprintf(stdout, "  %8d words: %5.1f%%\n", s, 100*prof.MissRatio(s))
 	}
 
 	if *scopes {
 		for _, arr := range []string{"image", "pyr", "ridge"} {
-			fmt.Printf("\n%s per scope:\n", arr)
+			fmt.Fprintf(stdout, "\n%s per scope:\n", arr)
 			type row struct {
 				scope string
 				c     trace.Counts
@@ -58,10 +83,11 @@ func main() {
 			}
 			sort.Slice(rows, func(i, j int) bool { return rows[i].scope < rows[j].scope })
 			for _, r := range rows {
-				fmt.Printf("  %-16s %12d reads %12d writes\n", r.scope, r.c.Reads, r.c.Writes)
+				fmt.Fprintf(stdout, "  %-16s %12d reads %12d writes\n", r.scope, r.c.Reads, r.c.Writes)
 			}
 		}
 	}
+	return 0
 }
 
 // scopeList enumerates the scopes that actually saw accesses to arr.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		size    int
+		quant   int
+		wantErr bool
+	}{
+		{"defaults", 1024, 1, false},
+		{"small", 2, 3, false},
+		{"size too small", 1, 1, true},
+		{"zero size", 0, 1, true},
+		{"zero quant", 64, 0, true},
+		{"negative quant", 64, -2, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.size, c.quant)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestRunDefault: the plain profile run must report the dominant arrays and
+// the reuse summary, and exit 0.
+func TestRunDefault(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-size", "64"}, &out, &errB); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errB.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"BTPC encoder profile, 64x64 image",
+		"image array reuse (LRU miss ratio by buffer size):",
+		"image", "pyr", "ridge",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "per scope:") {
+		t.Error("per-scope section printed without -scopes")
+	}
+}
+
+// TestRunScopes: -scopes adds the per-loop-scope breakdown of the large
+// arrays.
+func TestRunScopes(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-size", "64", "-scopes"}, &out, &errB); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errB.String())
+	}
+	s := out.String()
+	for _, want := range []string{"image per scope:", "pyr per scope:", "ridge per scope:", "reads"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunFlagErrors: invalid flags exit 2 without producing a profile.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-size", "1"},
+		{"-quant", "0"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errB bytes.Buffer
+		if code := run(args, &out, &errB); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errB.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v) wrote output despite flag error:\n%s", args, out.String())
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	specexplore -budget 20000000 [-onchip 4] [-threshold 65536]
 //	            [-frame 1.0] [-timeout 30s] [-inplace] [-interconnect]
-//	            [-lifetimes] [-trace out.jsonl] [-stats] spec.json
+//	            [-lifetimes] [-trace out.jsonl] [-stats] [-cache on|off]
+//	            spec.json
 //
 // -timeout bounds the exploration: on expiry (or SIGINT/SIGTERM) the stage
 // returns its best-effort organization — the branch-and-bound incumbent,
@@ -65,12 +66,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lifetimes := fs.Bool("lifetimes", false, "print the lifetime analysis and exit")
 	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
 	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
+	cache := fs.String("cache", "on", "cross-variant evaluation cache: on or off (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if err := validateFlags(*onchip, *threshold, *frame); err != nil {
 		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
+	if *cache != "on" && *cache != "off" {
+		fmt.Fprintf(stderr, "specexplore: -cache %q invalid (want on or off)\n", *cache)
 		fs.Usage()
 		return 2
 	}
@@ -140,6 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ep := core.DefaultEvalParams()
 	ep.Obs = observer
+	if *cache == "off" {
+		ep.Memo = nil
+	}
 	tech := *ep.Tech
 	tech.OnChipMaxWords = *threshold
 	tech.FramePeriod = *frame
@@ -186,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if collector != nil {
 		fmt.Fprintf(stderr, "\nExploration telemetry:\n%s", obs.StatsTable(collector.Records()))
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "\nEvaluation cache (-cache=%s):\n%s", *cache, ep.Memo.StatsString())
 	}
 	return 0
 }

@@ -107,6 +107,8 @@ type problem struct {
 	groups []spec.BasicGroup // the groups being partitioned
 	acc    []uint64          // accesses per frame, per group
 	patVec [][]int           // group -> per-pattern multiplicity
+	patIdx [][]int           // group -> indices of its nonzero patterns
+	patVal [][]int           // group -> multiplicities at those indices
 	patW   []uint64          // pattern weights (unused in cost, kept for reports)
 	nPat   int
 	nLoops int                // for in-place live-word profiles
@@ -117,6 +119,8 @@ func buildProblem(s *spec.Spec, groups []spec.BasicGroup, pats []sbd.Pattern, te
 	pr := &problem{tech: tech, p: p, groups: groups, nPat: len(pats), nLoops: len(s.Loops)}
 	pr.acc = make([]uint64, len(groups))
 	pr.patVec = make([][]int, len(groups))
+	pr.patIdx = make([][]int, len(groups))
+	pr.patVal = make([][]int, len(groups))
 	pr.patW = make([]uint64, len(pats))
 	for i, pt := range pats {
 		pr.patW[i] = pt.Weight
@@ -131,6 +135,10 @@ func buildProblem(s *spec.Spec, groups []spec.BasicGroup, pats []sbd.Pattern, te
 		vec := make([]int, len(pats))
 		for pi, pt := range pats {
 			vec[pi] = pt.Access[g.Name]
+			if vec[pi] != 0 {
+				pr.patIdx[gi] = append(pr.patIdx[gi], pi)
+				pr.patVal[gi] = append(pr.patVal[gi], vec[pi])
+			}
 		}
 		pr.patVec[gi] = vec
 		if p.InPlace {
@@ -138,6 +146,18 @@ func buildProblem(s *spec.Spec, groups []spec.BasicGroup, pats []sbd.Pattern, te
 		}
 	}
 	return pr
+}
+
+// selfPorts returns the minimum port count any memory holding group gi can
+// have: the group's own worst same-cycle multiplicity.
+func (pr *problem) selfPorts(gi int) int {
+	k := 1
+	for _, v := range pr.patVal[gi] {
+		if v > k {
+			k = v
+		}
+	}
+	return k
 }
 
 // memState tracks one memory's member aggregate during search.
@@ -151,7 +171,23 @@ type memState struct {
 	live    []int64 // per-loop live words (in-place mode only)
 }
 
-func (m *memState) add(pr *problem, gi int) {
+// memUndo captures the scalar fields of a memState before one push. The
+// vector fields (vec, live) are additive, so pop reverses them by
+// subtraction; the scalars are running maxima and must be restored.
+type memUndo struct {
+	words   int64
+	bits    int
+	ports   int
+	acc     uint64
+	nGroups int
+}
+
+// push adds group gi to the memory in place and returns the undo record.
+// Together with pop it makes node evaluation incremental: the search
+// mutates one aggregate per candidate instead of copying and rebuilding
+// the member state at every node.
+func (m *memState) push(pr *problem, gi int) memUndo {
+	u := memUndo{words: m.words, bits: m.bits, ports: m.ports, acc: m.acc, nGroups: m.nGroups}
 	g := pr.groups[gi]
 	if pr.p.InPlace {
 		if m.live == nil {
@@ -178,18 +214,39 @@ func (m *memState) add(pr *problem, gi int) {
 	if m.vec == nil {
 		m.vec = make([]int, pr.nPat)
 	}
-	ports := 1
-	for pi, v := range pr.patVec[gi] {
-		m.vec[pi] += v
+	ports := m.ports
+	idx, val := pr.patIdx[gi], pr.patVal[gi]
+	for i, pi := range idx {
+		m.vec[pi] += val[i]
 		if m.vec[pi] > ports {
 			ports = m.vec[pi]
 		}
 	}
-	if ports > m.ports {
-		m.ports = ports
+	if ports < 1 {
+		ports = 1
 	}
+	m.ports = ports
 	m.nGroups++
+	return u
 }
+
+// pop removes group gi again, restoring the state push saved.
+func (m *memState) pop(pr *problem, gi int, u memUndo) {
+	idx, val := pr.patIdx[gi], pr.patVal[gi]
+	for i, pi := range idx {
+		m.vec[pi] -= val[i]
+	}
+	if pr.p.InPlace {
+		g := pr.groups[gi]
+		iv := pr.life[gi]
+		for li := iv.First; li <= iv.Last && li < pr.nLoops; li++ {
+			m.live[li] -= g.Words
+		}
+	}
+	m.words, m.bits, m.ports, m.acc, m.nGroups = u.words, u.bits, u.ports, u.acc, u.nGroups
+}
+
+func (m *memState) add(pr *problem, gi int) { m.push(pr, gi) }
 
 // recompute rebuilds the aggregate from scratch for the given member set
 // (used on removal; simpler and safe for the small sizes involved).
@@ -476,49 +533,54 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 		return wa > wb
 	})
 
-	// Per-group optimistic marginal cost: a dedicated memory of exactly its
-	// size with one port, no fixed overhead. Any real placement costs at
-	// least this much; summing over unplaced groups gives a lower bound.
+	// Per-group optimistic marginal cost, the admissible lower bound of the
+	// search: whatever memory ends up holding a group is at least as large
+	// as the group itself, at least as wide, and has at least as many ports
+	// as the group's own worst same-cycle multiplicity forces (selfPorts).
+	// Energy and area are monotone in all three, so pricing the group at
+	// exactly its own size/width/self-ports underestimates every real
+	// placement. The dedicated-cell area term is dropped in in-place mode:
+	// members with disjoint lifetimes share storage there, so a memory's
+	// cells are not the sum of its members' — only the power floor remains
+	// admissible.
 	lbTail := make([]float64, n+1)
 	lbOf := func(gi int) float64 {
 		g := pr.groups[gi]
-		e := pr.tech.SRAM.EnergyPerAccess(g.Words, g.Bits, 1)
-		power := e * (float64(pr.acc[gi]) / pr.tech.FramePeriod) * 1e-6 // nJ × 1/s → mW
-		area := pr.tech.SRAM.CellArea * float64(g.BitSize())
-		return power + areaWeight*area
+		k := pr.selfPorts(gi)
+		e := pr.tech.SRAM.EnergyPerAccess(g.Words, g.Bits, k)
+		v := e * (float64(pr.acc[gi]) / pr.tech.FramePeriod) * 1e-6 // nJ × 1/s → mW
+		if !pr.p.InPlace {
+			portF := 1 + pr.tech.SRAM.PortArea*float64(k-1)
+			v += areaWeight * pr.tech.SRAM.CellArea * float64(g.BitSize()) * portF
+		}
+		return v
 	}
 	for i := n - 1; i >= 0; i-- {
 		lbTail[i] = lbTail[i+1] + lbOf(order[i])
 	}
+	// Every still-empty memory must end up used (mustOpen enforces it), and
+	// its future members pay its instance overhead on top of their floors.
+	emptyTerm := pr.tech.SRAM.StaticPower + areaWeight*pr.tech.SRAM.FixedArea
 
 	mems := make([]*memState, maxMem)
 	members := make([][]int, maxMem)
 	for i := range mems {
-		mems[i] = &memState{}
+		mems[i] = &memState{vec: make([]int, pr.nPat)}
 	}
 	memCost := make([]float64, maxMem) // area+power of each memory
 	var curCost float64
+	emptyCnt := maxMem // memories with no member yet, maintained incrementally
 
 	bestCost := math.Inf(1)
 	bestAssign := make([]int, n) // group index -> memory
 	curAssign := make([]int, n)
-
-	emptyCount := func() int {
-		e := 0
-		for m := 0; m < maxMem; m++ {
-			if mems[m].nGroups == 0 {
-				e++
-			}
-		}
-		return e
-	}
 
 	// Greedy incumbent: first-fit by minimal marginal cost, forced to leave
 	// room so every allocated memory ends up used.
 	greedyAssign := func() bool {
 		for step, gi := range order {
 			remaining := n - step
-			mustOpen := remaining <= emptyCount()
+			mustOpen := remaining <= emptyCnt
 			bestM, bestDelta := -1, math.Inf(1)
 			for m := 0; m < maxMem; m++ {
 				if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
@@ -527,17 +589,10 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 				if mustOpen && mems[m].nGroups > 0 {
 					continue
 				}
-				saved := *mems[m]
-				savedVec := append([]int(nil), mems[m].vec...)
-				savedLive := append([]int64(nil), mems[m].live...)
-				mems[m].add(pr, gi)
+				u := mems[m].push(pr, gi)
 				area, power, err := pr.onChipCost(mems[m])
 				delta := power + areaWeight*area - memCost[m]
-				*mems[m] = saved
-				mems[m].vec = savedVec
-				if len(savedLive) > 0 || mems[m].live != nil {
-					mems[m].live = savedLive
-				}
+				mems[m].pop(pr, gi, u)
 				if err == nil && delta < bestDelta {
 					bestM, bestDelta = m, delta
 				}
@@ -545,7 +600,10 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 			if bestM < 0 {
 				return false
 			}
-			mems[bestM].add(pr, gi)
+			if mems[bestM].nGroups == 0 {
+				emptyCnt--
+			}
+			mems[bestM].push(pr, gi)
 			members[bestM] = append(members[bestM], gi)
 			a, p2, _ := pr.onChipCost(mems[bestM])
 			curCost += p2 + areaWeight*a - memCost[bestM]
@@ -560,11 +618,12 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	}
 	// Reset state for the exact search.
 	for i := range mems {
-		mems[i] = &memState{}
+		mems[i] = &memState{vec: make([]int, pr.nPat)}
 		members[i] = nil
 		memCost[i] = 0
 	}
 	curCost = 0
+	emptyCnt = maxMem
 
 	// Search-effort counters: plain locals inside the hot loop, emitted once
 	// at the end so the instrumented search runs at full speed.
@@ -611,12 +670,12 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 			}
 			return
 		}
-		if curCost+lbTail[step] >= bestCost {
+		if curCost+lbTail[step]+float64(emptyCnt)*emptyTerm >= bestCost {
 			prunedLB++
 			return
 		}
 		gi := order[step]
-		mustOpen := n-step <= emptyCount()
+		mustOpen := n-step <= emptyCnt
 		for m := 0; m < maxMem; m++ {
 			if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
 				break // symmetry breaking: open memories left to right
@@ -624,12 +683,13 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 			if mustOpen && mems[m].nGroups > 0 {
 				continue // every allocated memory must end up used
 			}
-			saved := *mems[m]
-			savedVec := append([]int(nil), mems[m].vec...)
-			savedLive := append([]int64(nil), mems[m].live...)
-			mems[m].add(pr, gi)
+			wasEmpty := mems[m].nGroups == 0
+			u := mems[m].push(pr, gi)
 			area, power, err := pr.onChipCost(mems[m])
 			if err == nil {
+				if wasEmpty {
+					emptyCnt--
+				}
 				oldCost := memCost[m]
 				memCost[m] = power + areaWeight*area
 				curCost += memCost[m] - oldCost
@@ -639,14 +699,13 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 				members[m] = members[m][:len(members[m])-1]
 				curCost -= memCost[m] - oldCost
 				memCost[m] = oldCost
+				if wasEmpty {
+					emptyCnt++
+				}
 			} else {
 				portRejects++
 			}
-			*mems[m] = saved
-			mems[m].vec = savedVec
-			if len(savedLive) > 0 || mems[m].live != nil {
-				mems[m].live = savedLive
-			}
+			mems[m].pop(pr, gi, u)
 		}
 	}
 	if !stopped {

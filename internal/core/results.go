@@ -122,6 +122,10 @@ func RunAllContext(ctx context.Context, cfg DemoConfig, ep EvalParams) (*Results
 		fsp.SetFloat("onchip_area_mm2", r.Final.Cost.OnChipArea)
 	}
 	fsp.End()
+	// Snapshot the session cache's hit rates into the telemetry session
+	// (memo.hits{space=...} etc.), so traces and -stats report how much of
+	// the sweep was answered from the cache.
+	ep.Memo.Publish(ep.Obs)
 	return r, nil
 }
 

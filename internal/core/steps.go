@@ -9,6 +9,7 @@ import (
 	"repro/internal/bgstruct"
 	"repro/internal/dfg"
 	"repro/internal/memlib"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/sbd"
@@ -59,6 +60,16 @@ type EvalParams struct {
 	// each nesting level carries its own parent without races.
 	Obs  *obs.Observer
 	Span *obs.Span
+
+	// Memo is the session's cross-variant evaluation cache: loop schedules
+	// and conflict-pattern derivations are memoized by canonical
+	// fingerprints, so sweeps that re-evaluate nearly identical subproblems
+	// (structuring and hierarchy variants that leave most loops untouched,
+	// budget points that clamp a loop to its minimum) pay for each distinct
+	// subproblem once. DefaultEvalParams attaches a fresh cache; set to nil
+	// to disable caching (the -cache=off path). Results are byte-identical
+	// either way — the cache only removes redundant work.
+	Memo *memo.Cache
 }
 
 // startSpan opens a telemetry span for one pipeline stage: a child of the
@@ -86,6 +97,7 @@ func DefaultEvalParams() EvalParams {
 		SBD:         sbd.Params{OnChipMaxWords: tech.OnChipMaxWords},
 		Assign:      assign.Params{OnChipMaxWords: tech.OnChipMaxWords},
 		OnChipCount: 4,
+		Memo:        memo.New(),
 	}
 }
 
@@ -147,11 +159,12 @@ func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label str
 	}
 	sbdP := ep.SBD
 	sbdP.Obs = ep.Span
+	sbdP.Memo = ep.Memo
 	dist, err := sbd.DistributeContext(ctx, s, budget, sbdP)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", label, err)
 	}
-	pats := sbd.PrunePatterns(dist.Patterns)
+	pats := sbd.PrunePatternsCached(ep.Memo, dist.Patterns)
 	if sp != nil {
 		sp.SetInt("patterns", int64(len(dist.Patterns)))
 		sp.SetInt("patterns_pruned", int64(len(dist.Patterns)-len(pats)))
@@ -163,6 +176,12 @@ func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label str
 	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
 		asgn, err = assign.AssignContext(ctx, s, pats, ep.Tech, count, asgnP)
 		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			// A dead context cannot be helped by a larger allocation: the
+			// search degraded to its incumbent and the failure means the
+			// problem itself is infeasible — stop retrying.
 			break
 		}
 		retries++
@@ -409,7 +428,10 @@ func ExploreAllocationsContext(ctx context.Context, s *spec.Spec, dist *sbd.Dist
 	sp, ep := ep.startSpan("step.allocation")
 	defer sp.End()
 	sp.SetInt("counts", int64(len(counts)))
-	pats := sbd.PrunePatterns(dist.Patterns)
+	// The budget step already pruned this distribution's patterns when it
+	// evaluated the chosen point; the session cache turns this duplicate
+	// derivation into a lookup.
+	pats := sbd.PrunePatternsCached(ep.Memo, dist.Patterns)
 	asgns := make([]*assign.Assignment, len(counts))
 	parallelEach(ctx, len(counts), func(i int) {
 		ap := ep.Assign

@@ -1,0 +1,230 @@
+// Package memo provides the cross-variant evaluation cache of one
+// exploration session.
+//
+// The paper's methodology lives on fast re-evaluation: the designer changes
+// one decision (a structuring transform, a hierarchy layer, a budget point,
+// an allocation count) and the physical-memory-management stage re-derives
+// the cost feedback. Most of that work is identical between neighbouring
+// variants — a loop untouched by the transform balances to the same
+// schedule, a budget point that clamps a loop to its minimum re-derives the
+// same curve, two steps prune the same conflict-pattern set. This package
+// memoizes those subproblems in a per-session cache keyed by canonical
+// fingerprints, so a sweep pays for each distinct subproblem once.
+//
+// The cache is concurrency-safe and deduplicates in-flight computations
+// (singleflight): when the parallel sweep goroutines request the same key
+// simultaneously, one computes and the others wait for its result instead
+// of redoing the work. A nil *Cache is valid everywhere and disables
+// caching: Do simply invokes compute, the same idiom as the nil
+// obs.Observer.
+package memo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Space is one keyspace of the cache. Keys from different spaces never
+// collide even when their strings are equal.
+type Space int
+
+// The keyspaces of the exploration session cache.
+const (
+	// Schedule caches sbd.BalanceLoopContext results keyed by the loop's
+	// structural fingerprint and the per-iteration budget.
+	Schedule Space = iota
+	// LoopPatterns caches the per-loop conflict-pattern contribution of a
+	// committed schedule (the inner loop of sbd.PatternsOf).
+	LoopPatterns
+	// PrunedPatterns caches sbd.PrunePatterns results keyed by the pattern
+	// multiset.
+	PrunedPatterns
+	// Ports caches sbd.RequiredPorts results keyed by the pattern multiset.
+	Ports
+
+	numSpaces
+)
+
+// String names the keyspace (used for telemetry labels).
+func (s Space) String() string {
+	switch s {
+	case Schedule:
+		return "schedule"
+	case LoopPatterns:
+		return "loop_patterns"
+	case PrunedPatterns:
+		return "pruned_patterns"
+	case Ports:
+		return "ports"
+	default:
+		return fmt.Sprintf("space%d", int(s))
+	}
+}
+
+// Stats is the hit/miss/dedup accounting of one keyspace.
+type Stats struct {
+	Hits          int64 // Do calls answered from the cache
+	Misses        int64 // Do calls that ran compute
+	InflightWaits int64 // Do calls that waited for a concurrent compute
+	Entries       int   // cached values currently held
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the space is untouched.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one slot of a keyspace: done is closed when the computation
+// finished, after val (and ok, the cacheable flag) were written — the
+// close/receive pair orders the reads.
+type entry struct {
+	done chan struct{}
+	val  any
+	ok   bool
+}
+
+type space struct {
+	mu sync.Mutex
+	m  map[string]*entry
+
+	hits, misses, waits atomic.Int64
+}
+
+// Cache is one exploration session's memoization state. Values stored in
+// the cache are shared between callers and must be treated as immutable.
+type Cache struct {
+	spaces [numSpaces]space
+}
+
+// New returns an empty session cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.spaces {
+		c.spaces[i].m = make(map[string]*entry)
+	}
+	return c
+}
+
+// Do returns the value for key in the given keyspace, running compute on a
+// miss. compute returns the value and whether it may be cached: a result
+// degraded by a canceled context must report false, so that later callers
+// with a live context recompute it. Concurrent Do calls with the same key
+// share one compute (singleflight); when that compute turns out
+// uncacheable, its waiters fall back to computing for themselves.
+//
+// Safe on a nil Cache: compute runs unconditionally and nothing is
+// recorded.
+func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool)) any {
+	if c == nil {
+		v, _ := compute()
+		return v
+	}
+	s := &c.spaces[sp]
+	for {
+		s.mu.Lock()
+		if e, found := s.m[key]; found {
+			select {
+			case <-e.done: // finished: a plain hit
+				s.mu.Unlock()
+				s.hits.Add(1)
+				return e.val
+			default: // in flight: wait for the computing goroutine
+			}
+			s.mu.Unlock()
+			s.waits.Add(1)
+			<-e.done
+			if e.ok {
+				s.hits.Add(1)
+				return e.val
+			}
+			continue // uncacheable result: compute for ourselves
+		}
+		e := &entry{done: make(chan struct{})}
+		s.m[key] = e
+		s.mu.Unlock()
+		s.misses.Add(1)
+		val, cacheable := compute()
+		e.val, e.ok = val, cacheable
+		if !cacheable {
+			s.mu.Lock()
+			delete(s.m, key)
+			s.mu.Unlock()
+		}
+		close(e.done)
+		return val
+	}
+}
+
+// Stats returns the accounting of one keyspace.
+func (c *Cache) Stats(sp Space) Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := &c.spaces[sp]
+	s.mu.Lock()
+	n := len(s.m)
+	s.mu.Unlock()
+	return Stats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		InflightWaits: s.waits.Load(),
+		Entries:       n,
+	}
+}
+
+// Publish snapshots the per-keyspace counters into the observer as gauges
+// (memo.hits{space=...}, memo.misses{...}, memo.inflight_waits{...},
+// memo.entries{...}), so traces and -stats report the session's hit rates.
+// Safe on a nil Cache or nil Observer; idempotent (gauges, not counters).
+func (c *Cache) Publish(o *obs.Observer) {
+	if c == nil || o == nil {
+		return
+	}
+	for sp := Space(0); sp < numSpaces; sp++ {
+		st := c.Stats(sp)
+		if st.Hits+st.Misses == 0 {
+			continue
+		}
+		name := sp.String()
+		o.Gauge(obs.Label("memo.hits", "space", name)).Set(st.Hits)
+		o.Gauge(obs.Label("memo.misses", "space", name)).Set(st.Misses)
+		o.Gauge(obs.Label("memo.inflight_waits", "space", name)).Set(st.InflightWaits)
+		o.Gauge(obs.Label("memo.entries", "space", name)).Set(int64(st.Entries))
+	}
+}
+
+// StatsString renders a human-readable per-keyspace summary (the -stats
+// view of the cache).
+func (c *Cache) StatsString() string {
+	if c == nil {
+		return "(cache disabled)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %8s %8s\n",
+		"keyspace", "hits", "misses", "waits", "entries", "hit-rate")
+	names := make([]string, 0, int(numSpaces))
+	for sp := Space(0); sp < numSpaces; sp++ {
+		names = append(names, sp.String())
+	}
+	sort.Strings(names) // stable render independent of enum order
+	for _, name := range names {
+		var sp Space
+		for s := Space(0); s < numSpaces; s++ {
+			if s.String() == name {
+				sp = s
+			}
+		}
+		st := c.Stats(sp)
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d %8d %7.1f%%\n",
+			name, st.Hits, st.Misses, st.InflightWaits, st.Entries, 100*st.HitRate())
+	}
+	return b.String()
+}

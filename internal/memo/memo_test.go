@@ -1,0 +1,199 @@
+package memo
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDoCachesPerSpaceAndKey(t *testing.T) {
+	c := New()
+	calls := 0
+	compute := func() (any, bool) { calls++; return calls, true }
+
+	if v := c.Do(Schedule, "k", compute); v != 1 {
+		t.Fatalf("first Do = %v, want 1", v)
+	}
+	if v := c.Do(Schedule, "k", compute); v != 1 {
+		t.Fatalf("second Do = %v, want cached 1", v)
+	}
+	// Same key in a different space is a distinct slot.
+	if v := c.Do(Ports, "k", compute); v != 2 {
+		t.Fatalf("other-space Do = %v, want fresh 2", v)
+	}
+	st := c.Stats(Schedule)
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("Schedule stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if r := st.HitRate(); r != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", r)
+	}
+}
+
+func TestDoUncacheableIsNotStored(t *testing.T) {
+	c := New()
+	calls := 0
+	uncacheable := func() (any, bool) { calls++; return calls, false }
+	if v := c.Do(Schedule, "k", uncacheable); v != 1 {
+		t.Fatalf("Do = %v, want 1", v)
+	}
+	if v := c.Do(Schedule, "k", uncacheable); v != 2 {
+		t.Fatalf("Do after uncacheable = %v, want recomputed 2", v)
+	}
+	st := c.Stats(Schedule)
+	if st.Hits != 0 || st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses / 0 entries", st)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New()
+	const goroutines = 8
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do(Schedule, "shared", func() (any, bool) {
+				computes.Add(1)
+				<-release // hold the computer until every waiter queued
+				return "value", true
+			})
+		}(i)
+	}
+	// InflightWaits is bumped before a waiter blocks on the entry, so once
+	// the count reaches goroutines-1 every other goroutine is provably on
+	// the wait path of the single in-flight compute.
+	for c.Stats(Schedule).InflightWaits < int64(goroutines-1) {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
+	}
+	for i, r := range results {
+		if r != "value" {
+			t.Fatalf("goroutine %d got %v, want \"value\"", i, r)
+		}
+	}
+	st := c.Stats(Schedule)
+	if st.Misses != 1 || st.Hits != int64(goroutines-1) {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", st, goroutines-1)
+	}
+	if st.InflightWaits != int64(goroutines-1) {
+		t.Fatalf("stats = %+v, want %d in-flight waits", st, goroutines-1)
+	}
+}
+
+func TestDoSingleflightUncacheableWaitersRecompute(t *testing.T) {
+	c := New()
+	release := make(chan struct{})
+	firstIn := make(chan struct{})
+	var secondVal any
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Do(Schedule, "k", func() (any, bool) {
+			close(firstIn)
+			<-release
+			return "degraded", false // e.g. canceled-context result
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-firstIn // guarantee we arrive while the first compute is in flight
+		secondVal = c.Do(Schedule, "k", func() (any, bool) {
+			return "fresh", true
+		})
+	}()
+	// Give the second goroutine a chance to block on the in-flight entry,
+	// then let the degraded compute finish.
+	close(release)
+	wg.Wait()
+	if secondVal != "fresh" {
+		t.Fatalf("waiter got %v, want recomputed \"fresh\"", secondVal)
+	}
+	// The fresh result must now be cached.
+	v := c.Do(Schedule, "k", func() (any, bool) { return "wrong", true })
+	if v != "fresh" {
+		t.Fatalf("third Do = %v, want cached \"fresh\"", v)
+	}
+}
+
+func TestNilCacheRuns(t *testing.T) {
+	var c *Cache
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if v := c.Do(Schedule, "k", func() (any, bool) { calls++; return calls, true }); v != i+1 {
+			t.Fatalf("nil-cache Do #%d = %v, want %d", i, v, i+1)
+		}
+	}
+	if st := c.Stats(Schedule); st != (Stats{}) {
+		t.Fatalf("nil-cache stats = %+v, want zero", st)
+	}
+	c.Publish(nil)                                         // must not panic
+	if s := c.StatsString(); !strings.Contains(s, "dis") { // "(cache disabled)"
+		t.Fatalf("nil StatsString = %q", s)
+	}
+}
+
+func TestPublishGauges(t *testing.T) {
+	c := New()
+	c.Do(Schedule, "a", func() (any, bool) { return 1, true })
+	c.Do(Schedule, "a", func() (any, bool) { return 1, true })
+	o := obs.New()
+	c.Publish(o)
+	snap := o.Counters()
+	if snap["memo.hits{space=schedule}"] != 1 {
+		t.Fatalf("hits gauge = %d, want 1 (snapshot: %v)", snap["memo.hits{space=schedule}"], snap)
+	}
+	if snap["memo.misses{space=schedule}"] != 1 {
+		t.Fatalf("misses gauge = %d, want 1", snap["memo.misses{space=schedule}"])
+	}
+	// Untouched spaces are skipped.
+	if _, ok := snap["memo.hits{space=ports}"]; ok {
+		t.Fatal("untouched space published")
+	}
+	// Publishing twice must not double-count (gauges, not counters).
+	c.Publish(o)
+	snap = o.Counters()
+	if snap["memo.hits{space=schedule}"] != 1 {
+		t.Fatalf("hits gauge after re-publish = %d, want 1", snap["memo.hits{space=schedule}"])
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := New()
+	c.Do(PrunedPatterns, "a", func() (any, bool) { return 1, true })
+	c.Do(PrunedPatterns, "a", func() (any, bool) { return 1, true })
+	s := c.StatsString()
+	for _, want := range []string{"schedule", "loop_patterns", "pruned_patterns", "ports", "50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("StatsString missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	names := map[Space]string{
+		Schedule: "schedule", LoopPatterns: "loop_patterns",
+		PrunedPatterns: "pruned_patterns", Ports: "ports",
+	}
+	for sp, want := range names {
+		if got := sp.String(); got != want {
+			t.Fatalf("Space(%d).String() = %q, want %q", sp, got, want)
+		}
+	}
+	if got := Space(99).String(); got != "space99" {
+		t.Fatalf("unknown space = %q", got)
+	}
+}

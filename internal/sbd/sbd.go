@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/dfg"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/spec"
 )
@@ -56,6 +57,11 @@ type Params struct {
 	// their spans and counters to; nil disables instrumentation at
 	// near-zero cost.
 	Obs *obs.Span
+	// Memo is the exploration session's cross-variant cache: loop
+	// schedules and conflict-pattern derivations are memoized by canonical
+	// fingerprints, so variants that leave a loop untouched re-use its
+	// balanced schedule instead of re-scheduling. Nil disables caching.
+	Memo *memo.Cache
 	// Pipelined enables software pipelining (modulo scheduling): the
 	// per-iteration budget becomes an initiation interval, successive
 	// iterations overlap, and occupancy wraps around the interval. This
@@ -138,6 +144,67 @@ func (pt Pattern) key() string {
 	var b strings.Builder
 	for _, n := range names {
 		fmt.Fprintf(&b, "%s:%d;", n, pt.Access[n])
+	}
+	return b.String()
+}
+
+// loopFingerprint returns a canonical identity of everything a loop's
+// balanced schedule depends on: the loop name and iteration count, the
+// access structure in slice order (ID, group, branch, dependences), the
+// cost-relevant properties of every referenced group (words, bits, and the
+// on/off-chip classification that sets durations and penalties), and the
+// normalized balancer parameters. Loops with equal fingerprints balance to
+// identical schedules at equal budgets, so the session cache's schedule
+// keyspace is keyed by fingerprint plus budget. The on/off-chip threshold
+// itself is deliberately absent: it only acts through the per-group
+// classification, so budget points that move the threshold without
+// reclassifying any referenced group still hit.
+func loopFingerprint(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%q it=%d oc=%d ps=%d sw=%g pl=%t",
+		l.Name, l.Iterations, p.OffChipCycles, p.Passes, p.StructuralWeight, p.Pipelined)
+	seen := make(map[string]bool, 8)
+	var names []string
+	for i := range l.Accesses {
+		a := &l.Accesses[i]
+		if !seen[a.Group] {
+			seen[a.Group] = true
+			names = append(names, a.Group)
+		}
+		fmt.Fprintf(&b, "|%d:%q;%q;%v", a.ID, a.Group, a.Branch, a.Deps)
+	}
+	for _, n := range names {
+		g := groups[n]
+		fmt.Fprintf(&b, "|g%d,%d,%t", g.Words, g.Bits, p.offChip(g))
+	}
+	return b.String()
+}
+
+// startsKey canonically encodes a schedule's start cycles. It makes the
+// pattern-derivation keyspace safe for hand-built schedules too: the cache
+// key then pins the exact schedule, not just the problem that produced it.
+func startsKey(start []int) string {
+	var b strings.Builder
+	for _, v := range start {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// FingerprintPatterns returns a canonical identity of a conflict-pattern
+// sequence: every pattern's sorted access multiset plus its weight, in
+// sequence order (PatternsOf emits patterns in canonical sorted order, so
+// pipeline-produced sets are order-stable; keeping the order in the
+// fingerprint makes the cached result byte-identical to the uncached one
+// even for callers that pass patterns in a different order).
+func FingerprintPatterns(pats []Pattern) string {
+	var b strings.Builder
+	for i := range pats {
+		b.WriteString(pats[i].key())
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(pats[i].Weight, 10))
+		b.WriteByte('|')
 	}
 	return b.String()
 }
@@ -235,6 +302,13 @@ func (o *cycleOcc) scenarios(fn func(m map[string]int)) {
 // scheduler is the working state for balancing one loop body. In linear
 // mode the occupancy table spans the budget; in pipelined (modulo) mode it
 // spans one initiation interval and accesses wrap around it.
+//
+// The inner loop (trialCost during placement and local search) runs millions
+// of times per exploration sweep, so the working state is fully dense: the
+// loop's distinct groups and branch tags are enumerated once at
+// construction, the occupancy table is a flat counter array indexed by
+// (cycle, branch, group), and the conflict penalties are precomputed into
+// per-group and pairwise tables. No map is touched while scheduling.
 type scheduler struct {
 	l      *spec.Loop
 	groups map[string]spec.BasicGroup
@@ -242,9 +316,19 @@ type scheduler struct {
 	budget int   // linear budget, or the initiation interval when pipelined
 	dur    []int // per access
 	start  []int // per access, -1 = unplaced
-	occ    []*cycleOcc
 	succ   [][]int
 	cost   float64
+
+	ng, nb     int         // distinct groups / branch tags (slot 0 = common)
+	gnames     []string    // gid -> group name, in first-appearance order
+	gid, bid   []int       // per access -> group / branch index
+	self       []float64   // per gid: same-group overlap penalty
+	structW    []float64   // per gid: self[gid] × StructuralWeight
+	pair       [][]float64 // gid × gid: distinct-pair penalty
+	cnt        []int       // occupancy counters, [cycle][bid][gid] flattened
+	act        []int       // nonzero-group count per [cycle][bid]
+	merged     []int       // scratch: common ⊎ branch pattern, len ng
+	structured []int       // scratch for structuralCost, len ng
 }
 
 func newScheduler(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) *scheduler {
@@ -253,51 +337,108 @@ func newScheduler(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p
 		l: l, groups: groups, p: p, budget: budget,
 		dur:   make([]int, n),
 		start: make([]int, n),
-		occ:   make([]*cycleOcc, budget),
 		succ:  make([][]int, n),
+		gid:   make([]int, n),
+		bid:   make([]int, n),
+		nb:    1,
 	}
-	for i := range s.occ {
-		s.occ[i] = newCycleOcc()
-	}
+	gIdx := make(map[string]int, 8)
+	bIdx := map[string]int{"": 0}
 	for i, a := range l.Accesses {
 		s.dur[i] = p.Duration(groups[a.Group])
 		s.start[i] = -1
 		for _, d := range a.Deps {
 			s.succ[d] = append(s.succ[d], a.ID)
 		}
+		gi, ok := gIdx[a.Group]
+		if !ok {
+			gi = len(s.gnames)
+			gIdx[a.Group] = gi
+			s.gnames = append(s.gnames, a.Group)
+		}
+		s.gid[i] = gi
+		bi, ok := bIdx[a.Branch]
+		if !ok {
+			bi = s.nb
+			bIdx[a.Branch] = bi
+			s.nb++
+		}
+		s.bid[i] = bi
 	}
+	s.ng = len(s.gnames)
+	s.self = make([]float64, s.ng)
+	s.structW = make([]float64, s.ng)
+	s.pair = make([][]float64, s.ng)
+	for i, gn := range s.gnames {
+		g := groups[gn]
+		s.self[i] = p.selfPenalty(g)
+		s.structW[i] = s.self[i] * p.StructuralWeight
+		s.pair[i] = make([]float64, s.ng)
+	}
+	for i := 0; i < s.ng; i++ {
+		for j := i + 1; j < s.ng; j++ {
+			v := p.pairPenalty(groups[s.gnames[i]], groups[s.gnames[j]])
+			s.pair[i][j], s.pair[j][i] = v, v
+		}
+	}
+	s.cnt = make([]int, budget*s.nb*s.ng)
+	s.act = make([]int, budget*s.nb)
+	s.merged = make([]int, s.ng)
+	s.structured = make([]int, s.ng)
 	return s
 }
 
-// patternCost prices one effective access pattern. Same-group overlap is
-// priced superlinearly: every extra port on a memory costs more than the
-// previous one, so the balancer prefers two cycles with doubled accesses
-// over one cycle with quadrupled accesses.
-func (s *scheduler) patternCost(m map[string]int) float64 {
+// patternCost prices one effective access pattern (counts per gid).
+// Same-group overlap is priced superlinearly: every extra port on a memory
+// costs more than the previous one, so the balancer prefers two cycles with
+// doubled accesses over one cycle with quadrupled accesses.
+func (s *scheduler) patternCost(cnt []int) float64 {
 	var c float64
-	names := make([]string, 0, len(m))
-	for g, k := range m {
-		if k > 1 {
-			c += float64((k-1)*(k-1)) * s.p.selfPenalty(s.groups[g])
+	for i, k := range cnt {
+		if k == 0 {
+			continue
 		}
-		names = append(names, g)
-	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			c += s.p.pairPenalty(s.groups[names[i]], s.groups[names[j]])
+		if k > 1 {
+			c += float64((k-1)*(k-1)) * s.self[i]
+		}
+		row := s.pair[i]
+		for j := i + 1; j < len(cnt); j++ {
+			if cnt[j] != 0 {
+				c += row[j]
+			}
 		}
 	}
 	return c
 }
 
 // cycleCost prices one cycle: the worst case over its branch scenarios.
-func (s *scheduler) cycleCost(o *cycleOcc) float64 {
+// Accesses under different branch tags are mutually exclusive, so the
+// effective pattern is the common part plus one branch (common-only is
+// pointwise-dominated whenever any branch is active).
+func (s *scheduler) cycleCost(slot int) float64 {
+	base := slot * s.nb * s.ng
+	common := s.cnt[base : base+s.ng]
 	worst := 0.0
-	o.scenarios(func(m map[string]int) {
-		if c := s.patternCost(m); c > worst {
+	anyBranch := false
+	for b := 1; b < s.nb; b++ {
+		if s.act[slot*s.nb+b] == 0 {
+			continue
+		}
+		anyBranch = true
+		br := s.cnt[base+b*s.ng : base+(b+1)*s.ng]
+		for g := range s.merged {
+			s.merged[g] = common[g] + br[g]
+		}
+		if c := s.patternCost(s.merged); c > worst {
 			worst = c
 		}
-	})
+	}
+	if !anyBranch {
+		if s.act[slot*s.nb] == 0 {
+			return 0
+		}
+		return s.patternCost(common)
+	}
 	return worst
 }
 
@@ -312,28 +453,32 @@ func (s *scheduler) slot(k int) int {
 
 // place puts access id at cycle c, updating occupancy and cost.
 func (s *scheduler) place(id, c int) {
-	a := &s.l.Accesses[id]
+	g, b := s.gid[id], s.bid[id]
 	for k := c; k < c+s.dur[id]; k++ {
-		o := s.occ[s.slot(k)]
-		s.cost -= s.cycleCost(o)
-		o.bucket(a.Branch)[a.Group]++
-		s.cost += s.cycleCost(o)
+		slot := s.slot(k)
+		s.cost -= s.cycleCost(slot)
+		i := (slot*s.nb+b)*s.ng + g
+		if s.cnt[i] == 0 {
+			s.act[slot*s.nb+b]++
+		}
+		s.cnt[i]++
+		s.cost += s.cycleCost(slot)
 	}
 	s.start[id] = c
 }
 
 // unplace removes access id from the schedule.
 func (s *scheduler) unplace(id int) {
-	a := &s.l.Accesses[id]
+	g, b := s.gid[id], s.bid[id]
 	c := s.start[id]
 	for k := c; k < c+s.dur[id]; k++ {
-		o := s.occ[s.slot(k)]
-		s.cost -= s.cycleCost(o)
-		m := o.bucket(a.Branch)
-		if m[a.Group]--; m[a.Group] == 0 {
-			delete(m, a.Group)
+		slot := s.slot(k)
+		s.cost -= s.cycleCost(slot)
+		i := (slot*s.nb+b)*s.ng + g
+		if s.cnt[i]--; s.cnt[i] == 0 {
+			s.act[slot*s.nb+b]--
 		}
-		s.cost += s.cycleCost(o)
+		s.cost += s.cycleCost(slot)
 	}
 	s.start[id] = -1
 }
@@ -550,26 +695,101 @@ func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spe
 // structuralCost prices the worst same-group multiplicity each group
 // suffers anywhere in the schedule (superlinearly, like patternCost).
 func (s *scheduler) structuralCost() float64 {
-	maxMult := make(map[string]int)
-	for _, o := range s.occ {
-		o.scenarios(func(m map[string]int) {
-			for g, k := range m {
-				if k > maxMult[g] {
+	maxMult := s.structured
+	for g := range maxMult {
+		maxMult[g] = 0
+	}
+	for slot := 0; slot < s.budget; slot++ {
+		base := slot * s.nb * s.ng
+		common := s.cnt[base : base+s.ng]
+		anyBranch := false
+		for b := 1; b < s.nb; b++ {
+			if s.act[slot*s.nb+b] == 0 {
+				continue
+			}
+			anyBranch = true
+			br := s.cnt[base+b*s.ng : base+(b+1)*s.ng]
+			for g := range maxMult {
+				if k := common[g] + br[g]; k > maxMult[g] {
 					maxMult[g] = k
 				}
 			}
-		})
+		}
+		if !anyBranch {
+			for g := range maxMult {
+				if common[g] > maxMult[g] {
+					maxMult[g] = common[g]
+				}
+			}
+		}
 	}
 	var c float64
 	for g, k := range maxMult {
 		if k > 1 {
-			c += float64((k-1)*(k-1)) * s.p.selfPenalty(s.groups[g]) * s.p.StructuralWeight
+			c += float64((k-1)*(k-1)) * s.structW[g]
 		}
 	}
 	return c
 }
 
+// loopPatterns derives the conflict-pattern contribution of one committed
+// loop schedule, merged and sorted by canonical key. The result is shared
+// through the session cache, so callers must treat it as immutable.
+func loopPatterns(l *spec.Loop, sc *LoopSchedule, groups map[string]spec.BasicGroup, p Params) []Pattern {
+	occ := make([]*cycleOcc, sc.Budget)
+	for i := range occ {
+		occ[i] = newCycleOcc()
+	}
+	for _, a := range l.Accesses {
+		d := p.Duration(groups[a.Group])
+		for k := sc.Start[a.ID]; k < sc.Start[a.ID]+d; k++ {
+			ki := k
+			if p.Pipelined {
+				ki = k % sc.Budget
+			}
+			occ[ki].bucket(a.Branch)[a.Group]++
+		}
+	}
+	byKey := make(map[string]*Pattern)
+	for _, o := range occ {
+		o.scenarios(func(m map[string]int) {
+			if len(m) == 0 {
+				return
+			}
+			pt := Pattern{Access: m, Weight: l.Iterations}
+			k := pt.key()
+			if ex := byKey[k]; ex != nil {
+				ex.Weight += l.Iterations
+			} else {
+				cp := Pattern{Access: make(map[string]int, len(m)), Weight: l.Iterations}
+				for g, c := range m {
+					cp.Access[g] = c
+				}
+				byKey[k] = &cp
+			}
+		})
+	}
+	return sortedPatterns(byKey)
+}
+
+// sortedPatterns flattens a merge map into the canonical sorted order.
+func sortedPatterns(byKey map[string]*Pattern) []Pattern {
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Pattern, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
 // PatternsOf derives the merged conflict patterns of a set of schedules.
+// With a session cache attached (p.Memo), each loop's contribution is
+// memoized by its structural fingerprint, budget, and exact start cycles,
+// so re-deriving the patterns of an unchanged loop costs a lookup.
 func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
 	p.normalize()
 	groups := groupsOf(s)
@@ -585,49 +805,30 @@ func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
 		if l == nil || len(l.Accesses) == 0 {
 			continue
 		}
-		occ := make([]*cycleOcc, sc.Budget)
-		for i := range occ {
-			occ[i] = newCycleOcc()
+		var lp []Pattern
+		if p.Memo != nil {
+			key := loopFingerprint(l, groups, p) + "#" + strconv.Itoa(sc.Budget) + "#" + startsKey(sc.Start)
+			lp = p.Memo.Do(memo.LoopPatterns, key, func() (any, bool) {
+				return loopPatterns(l, sc, groups, p), true
+			}).([]Pattern)
+		} else {
+			lp = loopPatterns(l, sc, groups, p)
 		}
-		for _, a := range l.Accesses {
-			d := p.Duration(groups[a.Group])
-			for k := sc.Start[a.ID]; k < sc.Start[a.ID]+d; k++ {
-				ki := k
-				if p.Pipelined {
-					ki = k % sc.Budget
+		for i := range lp {
+			pt := &lp[i]
+			k := pt.key()
+			if ex := byKey[k]; ex != nil {
+				ex.Weight += pt.Weight
+			} else {
+				cp := Pattern{Access: make(map[string]int, len(pt.Access)), Weight: pt.Weight}
+				for g, c := range pt.Access {
+					cp.Access[g] = c
 				}
-				occ[ki].bucket(a.Branch)[a.Group]++
+				byKey[k] = &cp
 			}
 		}
-		for _, o := range occ {
-			o.scenarios(func(m map[string]int) {
-				if len(m) == 0 {
-					return
-				}
-				pt := Pattern{Access: m, Weight: l.Iterations}
-				k := pt.key()
-				if ex := byKey[k]; ex != nil {
-					ex.Weight += l.Iterations
-				} else {
-					cp := Pattern{Access: make(map[string]int, len(m)), Weight: l.Iterations}
-					for g, c := range m {
-						cp.Access[g] = c
-					}
-					byKey[k] = &cp
-				}
-			})
-		}
 	}
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Pattern, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, *byKey[k])
-	}
-	return out
+	return sortedPatterns(byKey)
 }
 
 // PrunePatterns removes patterns dominated by another pattern (every
@@ -660,6 +861,32 @@ func PrunePatterns(pats []Pattern) []Pattern {
 		}
 	}
 	return out
+}
+
+// PrunePatternsCached is PrunePatterns through the session cache, keyed by
+// the pattern multiset. The evaluation pipeline prunes the same
+// distribution's patterns once per assignment sweep point; with the cache
+// every repeat costs one fingerprint and a lookup. The returned slice is
+// shared and must be treated as immutable. Safe with a nil cache.
+func PrunePatternsCached(c *memo.Cache, pats []Pattern) []Pattern {
+	if c == nil {
+		return PrunePatterns(pats)
+	}
+	return c.Do(memo.PrunedPatterns, FingerprintPatterns(pats), func() (any, bool) {
+		return PrunePatterns(pats), true
+	}).([]Pattern)
+}
+
+// RequiredPortsCached is RequiredPorts through the session cache, keyed by
+// the pattern multiset. The returned map is shared and must be treated as
+// immutable. Safe with a nil cache.
+func RequiredPortsCached(c *memo.Cache, pats []Pattern) map[string]int {
+	if c == nil {
+		return RequiredPorts(pats)
+	}
+	return c.Do(memo.Ports, FingerprintPatterns(pats), func() (any, bool) {
+		return RequiredPorts(pats), true
+	}).(map[string]int)
 }
 
 // RequiredPorts returns, per group, the maximum simultaneity the schedule
@@ -716,6 +943,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 
 	type curve struct {
 		loop   *spec.Loop
+		fp     string          // schedule-cache fingerprint (when p.Memo is set)
 		min    int             // weighted critical path
 		max    int             // budget beyond which cost is zero anyway
 		scheds []*LoopSchedule // index: budget - min
@@ -729,6 +957,9 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 			continue
 		}
 		cv := &curve{loop: l, min: WeightedCP(l, groups, p)}
+		if p.Memo != nil {
+			cv.fp = loopFingerprint(l, groups, p)
+		}
 		if p.Pipelined {
 			// Modulo scheduling: the initiation interval may drop below the
 			// critical path, down to the longest single access.
@@ -769,6 +1000,27 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		}
 	}
 	degraded := false
+	// balance resolves one curve point, through the session cache when one
+	// is attached. A result computed under a live context is deterministic
+	// and cached; one degraded by cancellation (improvement passes cut
+	// short) is returned but not cached, so later callers with a live
+	// context redo it properly. Deterministic infeasibility errors are
+	// cached too. Concurrent sweep points requesting the same curve share
+	// one computation (singleflight).
+	type schedResult struct {
+		sc  *LoopSchedule
+		err error
+	}
+	balance := func(cv *curve, b int) (*LoopSchedule, error) {
+		if p.Memo == nil {
+			return BalanceLoopContext(ctx, cv.loop, groups, b, p)
+		}
+		r := p.Memo.Do(memo.Schedule, cv.fp+"#"+strconv.Itoa(b), func() (any, bool) {
+			sc, err := BalanceLoopContext(ctx, cv.loop, groups, b, p)
+			return schedResult{sc, err}, err != nil || ctx.Err() == nil
+		}).(schedResult)
+		return r.sc, r.err
+	}
 	// Build cost curves lazily up to max, then monotonize: a schedule found
 	// at a smaller budget is valid (and committed) at any larger one. The
 	// minimum-budget point is always built — it is what keeps a degraded
@@ -779,7 +1031,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 				degraded = true
 				break
 			}
-			sc, err := BalanceLoopContext(ctx, cv.loop, groups, b, p)
+			sc, err := balance(cv, b)
 			if err != nil {
 				return nil, err
 			}
@@ -845,7 +1097,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		sp.SetInt("loops", int64(len(curves)))
 		sp.SetInt("curve_points", int64(points))
 		sp.SetInt("patterns", int64(len(d.Patterns)))
-		sp.SetInt("conflict_groups", int64(len(RequiredPorts(d.Patterns))))
+		sp.SetInt("conflict_groups", int64(len(RequiredPortsCached(p.Memo, d.Patterns))))
 		sp.SetInt("used", int64(d.Used))
 		sp.SetFloat("conflict_cost", d.Cost)
 		sp.Observer().Counter(
