@@ -11,7 +11,9 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/assign"
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/sbd"
 )
 
@@ -377,6 +379,57 @@ func BenchmarkExploreUncached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ep := core.DefaultEvalParams()
 		ep.Memo = nil
+		if _, err := core.RunAll(core.DemoConfig{Size: 256}, ep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssignParallel measures the assignment search alone — the
+// branch-and-bound over on-chip/off-chip bindings — with the worker pool
+// width following GOMAXPROCS, so
+//
+//	go test -bench=AssignParallel -cpu 1,2,4,8
+//
+// produces the kernel-level scaling curve. The assignment is byte-identical
+// at every width; only the wall time may change.
+func BenchmarkAssignParallel(b *testing.B) {
+	_, res := benchFixture(b)
+	ep := core.DefaultEvalParams().ScaleTo(benchSize)
+	pats := sbd.PrunePatternsCached(nil, res.BudgetChoice.Dist.Patterns)
+	ap := ep.Assign
+	ap.Workers = pool.New(0) // width = GOMAXPROCS, i.e. the -cpu value
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a *assign.Assignment
+		var err error
+		for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
+			if a, err = assign.Assign(res.BudgetChoice.Spec, pats, ep.Tech, count, ap); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(a.Cost.OnChipPower, "onchip-mW")
+		}
+	}
+}
+
+// BenchmarkExploreWorkers is BenchmarkExplore with the session worker pool
+// width following GOMAXPROCS:
+//
+//	go test -bench=ExploreWorkers -cpu 1,2,4,8
+//
+// measures the full-pipeline scaling curve. The produced tables and figures
+// are identical at every width.
+func BenchmarkExploreWorkers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ep := core.DefaultEvalParams()
+		ep.Workers = pool.New(0) // width = GOMAXPROCS, i.e. the -cpu value
 		if _, err := core.RunAll(core.DemoConfig{Size: 256}, ep); err != nil {
 			b.Fatal(err)
 		}

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	benchjson [-size 256] [-bench regexp] [-out BENCH.json] [-baseline OLD.json]
+//	          [-cpus 1,2,4,8]
 //
 // Each benchmark is run with and without the cross-variant evaluation cache
 // where that distinction exists; the cached runs also record the session
 // cache's hit/miss counters, so the report shows how much of each sweep was
 // answered from the cache.
+//
+// -cpus runs the full exploration once per listed width — GOMAXPROCS and
+// the session worker pool are both set to the width, mirroring `go test
+// -cpu` — and embeds the resulting scaling curve (ns/op and speedup versus
+// the 1-cpu point) in the report. The curve measures what the host actually
+// provides: on a machine with fewer hardware CPUs than a listed width, the
+// extra workers cannot speed anything up, which is why the report records
+// hardware_cpus alongside.
 package main
 
 import (
@@ -20,10 +29,14 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/pool"
 	"repro/internal/sbd"
 )
 
@@ -44,17 +57,31 @@ type Result struct {
 
 // CacheStats mirrors memo.Stats for the JSON report.
 type CacheStats struct {
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	Waits   int64   `json:"inflight_waits"`
-	Entries int     `json:"entries"`
-	HitRate float64 `json:"hit_rate"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Waits     int64   `json:"inflight_waits"`
+	Contended int64   `json:"contended"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// ScalingPoint is one width of the -cpus sweep.
+type ScalingPoint struct {
+	CPUs       int   `json:"cpus"` // GOMAXPROCS and worker pool width
+	NsPerOp    int64 `json:"ns_per_op"`
+	Iterations int   `json:"iterations"`
+	// Speedup is ns/op of the sweep's 1-cpu point divided by this point's.
+	Speedup float64 `json:"speedup_vs_1,omitempty"`
 }
 
 // Report is the full benchjson artifact.
 type Report struct {
-	Size    int      `json:"size"`
-	Results []Result `json:"results"`
+	Size int `json:"size"`
+	// HardwareCPUs records what the measuring host actually had: a scaling
+	// curve is only meaningful relative to the physical parallelism.
+	HardwareCPUs int            `json:"hardware_cpus,omitempty"`
+	Results      []Result       `json:"results"`
+	Scaling      []ScalingPoint `json:"scaling,omitempty"`
 	// Baseline optionally embeds a previous report (the -baseline flag), so
 	// one artifact carries the before/after comparison.
 	Baseline *Report `json:"baseline,omitempty"`
@@ -76,7 +103,7 @@ func cacheStats(c *memo.Cache) map[string]CacheStats {
 		}
 		out[sp.String()] = CacheStats{
 			Hits: st.Hits, Misses: st.Misses, Waits: st.InflightWaits,
-			Entries: st.Entries, HitRate: st.HitRate(),
+			Contended: st.Contended, Entries: st.Entries, HitRate: st.HitRate(),
 		}
 	}
 	return out
@@ -177,6 +204,69 @@ func distributeBench(size int) (testing.BenchmarkResult, map[string]float64, map
 	return r, metrics, nil, innerErr
 }
 
+// parseCPUList parses the -cpus value, a comma-separated list of widths
+// like "1,2,4,8". An empty string means no scaling sweep.
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return nil, fmt.Errorf("-cpus %q: %v", s, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("-cpus %q: width %d out of range (must be >= 1)", s, n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// scalingSweep benchmarks the full exploration once per width, with both
+// GOMAXPROCS and the session worker pool set to the width (the same thing
+// `go test -cpu` would do), and computes each point's speedup against the
+// 1-cpu point (or the first listed width if 1 is absent).
+func scalingSweep(size int, cpus []int, stderr io.Writer) ([]ScalingPoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	pts := make([]ScalingPoint, 0, len(cpus))
+	for _, width := range cpus {
+		runtime.GOMAXPROCS(width)
+		fmt.Fprintf(stderr, "running Explore scaling point (size %d, cpus %d)...\n", size, width)
+		var innerErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ep := core.DefaultEvalParams()
+				ep.Workers = pool.New(width)
+				if _, err := core.RunAll(core.DemoConfig{Size: size}, ep); err != nil {
+					innerErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if innerErr != nil {
+			return nil, fmt.Errorf("scaling cpus=%d: %w", width, innerErr)
+		}
+		pts = append(pts, ScalingPoint{CPUs: width, NsPerOp: r.NsPerOp(), Iterations: r.N})
+		fmt.Fprintf(stderr, "  cpus=%d: %d ns/op\n", width, r.NsPerOp())
+	}
+	base := pts[0].NsPerOp
+	for _, p := range pts {
+		if p.CPUs == 1 {
+			base = p.NsPerOp
+			break
+		}
+	}
+	for i := range pts {
+		if pts[i].NsPerOp > 0 {
+			pts[i].Speedup = float64(base) / float64(pts[i].NsPerOp)
+		}
+	}
+	return pts, nil
+}
+
 func cases() []benchCase {
 	return []benchCase{
 		{"Explore", runAllBench(true)},
@@ -194,6 +284,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchRe := fs.String("bench", ".", "regexp selecting which benchmarks to run")
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	baseline := fs.String("baseline", "", "embed this previous report as the before/after baseline")
+	cpusFlag := fs.String("cpus", "", "comma-separated pool widths for a scaling sweep of the full exploration (e.g. 1,2,4,8)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -208,8 +299,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	cpus, err := parseCPUList(*cpusFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		fs.Usage()
+		return 2
+	}
 
-	rep := Report{Size: *size}
+	rep := Report{Size: *size, HardwareCPUs: runtime.NumCPU()}
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -245,9 +342,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 		fmt.Fprintf(stderr, "  %s: %d ns/op, %d allocs/op\n", c.name, r.NsPerOp(), r.AllocsPerOp())
 	}
-	if len(rep.Results) == 0 {
+	if len(rep.Results) == 0 && len(cpus) == 0 {
 		fmt.Fprintf(stderr, "benchjson: -bench %q matched no benchmarks\n", *benchRe)
 		return 2
+	}
+	if len(cpus) > 0 {
+		pts, err := scalingSweep(*size, cpus, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		rep.Scaling = pts
 	}
 
 	w := stdout

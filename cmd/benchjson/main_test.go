@@ -107,6 +107,54 @@ func TestRunBaseline(t *testing.T) {
 	}
 }
 
+// TestParseCPUList: the -cpus parser accepts comma-separated positive
+// widths and rejects everything else.
+func TestParseCPUList(t *testing.T) {
+	got, err := parseCPUList("1, 2,4,8")
+	if err != nil || len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Fatalf("parseCPUList = %v, %v", got, err)
+	}
+	if got, err := parseCPUList(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0", "1,-2", "1,x", "1,,2"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) = nil error, want error", bad)
+		}
+	}
+}
+
+// TestRunCPUSweep: -cpus embeds a scaling curve with a speedup anchored at
+// the 1-cpu point, alongside the host's hardware CPU count.
+func TestRunCPUSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-size", "32", "-bench", "^Distribute$", "-cpus", "1,2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.HardwareCPUs < 1 {
+		t.Fatalf("hardware_cpus = %d, want >= 1", rep.HardwareCPUs)
+	}
+	if len(rep.Scaling) != 2 {
+		t.Fatalf("scaling = %+v, want 2 points", rep.Scaling)
+	}
+	for i, want := range []int{1, 2} {
+		p := rep.Scaling[i]
+		if p.CPUs != want || p.NsPerOp <= 0 || p.Iterations <= 0 || p.Speedup <= 0 {
+			t.Fatalf("scaling[%d] = %+v, want cpus=%d with positive measurements", i, p, want)
+		}
+	}
+	if rep.Scaling[0].Speedup != 1.0 {
+		t.Fatalf("1-cpu speedup = %v, want exactly 1.0", rep.Scaling[0].Speedup)
+	}
+}
+
 // TestRunFlagErrors: invalid flags exit 2.
 func TestRunFlagErrors(t *testing.T) {
 	cases := [][]string{
@@ -114,6 +162,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-bench", "("},
 		{"-bench", "NoSuchBenchmark"},
 		{"-nosuchflag"},
+		{"-cpus", "0"},
+		{"-cpus", "1,nope"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

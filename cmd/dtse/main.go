@@ -5,7 +5,7 @@
 //
 //	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
 //	     [-timeout 30s] [-trace out.jsonl] [-stats] [-pprof addr]
-//	     [-cache on|off]
+//	     [-cache on|off] [-workers N]
 //
 // Without -table/-figure, everything is printed. -timeout bounds the whole
 // exploration: when it expires (or the process receives SIGINT/SIGTERM) the
@@ -28,11 +28,13 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // validateSelection checks the -table/-figure selectors against the ranges
@@ -67,11 +69,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
 	cache := fs.String("cache", "on", "cross-variant evaluation cache: on or off (results are identical either way)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool width for the parallel exploration (results are identical at any width)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *cache != "on" && *cache != "off" {
 		fmt.Fprintf(stderr, "dtse: -cache %q invalid (want on or off)\n", *cache)
+		fs.Usage()
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "dtse: -workers %d out of range (must be >= 1)\n", *workers)
 		fs.Usage()
 		return 2
 	}
@@ -135,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cache == "off" {
 		ep.Memo = nil
 	}
+	ep.Workers = pool.New(*workers)
 
 	start := time.Now()
 	res, err := core.RunAllContext(ctx, core.DemoConfig{Size: *size, Seed: *seed, Quant: *quant}, ep)

@@ -65,6 +65,27 @@ func TestRunCompletesSmall(t *testing.T) {
 	}
 }
 
+// TestRunWorkersDeterministic: the CLI's -workers width must not change a
+// single output byte — the whole point of the deterministic parallel
+// exploration.
+func TestRunWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale runs skipped in -short mode")
+	}
+	outputs := make([]string, 0, 2)
+	for _, w := range []string{"1", "3"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-size", "64", "-workers", w}, &stdout, &stderr); code != 0 {
+			t.Fatalf("-workers %s: exit %d, stderr: %s", w, code, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-workers=1 and -workers=3 outputs differ:\n--- workers=1\n%s\n--- workers=3\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
 // TestRunUsageErrors: invalid selectors and a negative timeout are usage
 // errors (exit 2) rejected before any work.
 func TestRunUsageErrors(t *testing.T) {
@@ -72,6 +93,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-table", "5"},
 		{"-figure", "9"},
 		{"-timeout", "-1s"},
+		{"-workers", "0"},
+		{"-workers", "-4"},
 		{"-nosuchflag"},
 	} {
 		var stdout, stderr bytes.Buffer

@@ -7,7 +7,7 @@
 //	specexplore -budget 20000000 [-onchip 4] [-threshold 65536]
 //	            [-frame 1.0] [-timeout 30s] [-inplace] [-interconnect]
 //	            [-lifetimes] [-trace out.jsonl] [-stats] [-cache on|off]
-//	            spec.json
+//	            [-workers N] spec.json
 //
 // -timeout bounds the exploration: on expiry (or SIGINT/SIGTERM) the stage
 // returns its best-effort organization — the branch-and-bound incumbent,
@@ -24,11 +24,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/inplace"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/spec"
 )
 
@@ -39,8 +41,8 @@ func main() {
 // validateFlags rejects parameter values that would otherwise produce
 // silent nonsense downstream (a zero-memory allocation, a negative
 // threshold classifying everything off-chip, a non-positive frame period
-// breaking every access rate).
-func validateFlags(onchip int, threshold int64, frame float64) error {
+// breaking every access rate, a zero-width worker pool).
+func validateFlags(onchip int, threshold int64, frame float64, workers int) error {
 	if onchip <= 0 {
 		return fmt.Errorf("specexplore: -onchip %d out of range (must be >= 1)", onchip)
 	}
@@ -49,6 +51,9 @@ func validateFlags(onchip int, threshold int64, frame float64) error {
 	}
 	if frame <= 0 {
 		return fmt.Errorf("specexplore: -frame %g out of range (must be > 0)", frame)
+	}
+	if workers < 1 {
+		return fmt.Errorf("specexplore: -workers %d out of range (must be >= 1)", workers)
 	}
 	return nil
 }
@@ -67,11 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
 	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
 	cache := fs.String("cache", "on", "cross-variant evaluation cache: on or off (results are identical either way)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool width for the parallel search (results are identical at any width)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if err := validateFlags(*onchip, *threshold, *frame); err != nil {
+	if err := validateFlags(*onchip, *threshold, *frame, *workers); err != nil {
 		fmt.Fprintln(stderr, err)
 		fs.Usage()
 		return 2
@@ -150,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cache == "off" {
 		ep.Memo = nil
 	}
+	ep.Workers = pool.New(*workers)
 	tech := *ep.Tech
 	tech.OnChipMaxWords = *threshold
 	tech.FramePeriod = *frame

@@ -25,6 +25,7 @@ import (
 	"repro/internal/inplace"
 	"repro/internal/memlib"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sbd"
 	"repro/internal/spec"
 )
@@ -54,6 +55,12 @@ type Params struct {
 	// Obs is the parent telemetry span Assign attaches its span and search
 	// counters to; nil disables instrumentation at near-zero cost.
 	Obs *obs.Span
+	// Workers is the session's bounded worker pool. When it is wider than
+	// one worker, the branch-and-bound and the off-chip partition scan split
+	// their search trees into independent subproblems solved in parallel
+	// with a shared incumbent bound; results are byte-identical at any
+	// width. Nil (or a 1-wide pool) runs the sequential search.
+	Workers *pool.Pool
 }
 
 func (p *Params) normalize() {
@@ -397,6 +404,9 @@ func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, flo
 	if n > 8 {
 		return nil, 0, false, fmt.Errorf("assign: %d off-chip groups exceed the partition-search limit", n)
 	}
+	if wp := pr.p.Workers; wp.Workers() > 1 && n >= minParallelOffChip {
+		return bestOffChipParallel(ctx, pr, sp, wp)
+	}
 	bestPower := math.Inf(1)
 	var bestParts [][]int
 	partitions := 0
@@ -420,19 +430,9 @@ func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, flo
 				default:
 				}
 			}
-			parts := make([][]int, used)
-			for gi, m := range assignTo[:n] {
-				parts[m] = append(parts[m], gi)
-			}
-			total := 0.0
-			for _, members := range parts {
-				var st memState
-				st.recompute(pr, members)
-				pw, err := pr.offChipCost(&st)
-				if err != nil {
-					return
-				}
-				total += pw
+			parts, total, feasible := pr.partitionPower(assignTo[:n], used)
+			if !feasible {
+				return
 			}
 			if total < bestPower {
 				bestPower = total
@@ -463,17 +463,49 @@ func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, flo
 	if math.IsInf(bestPower, 1) {
 		return nil, 0, false, fmt.Errorf("assign: no feasible off-chip packing (port demand exceeds %d)", pr.p.MaxPorts)
 	}
+	binds, err := offChipBinds(pr, bestParts)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return binds, bestPower, !stopped, nil
+}
+
+// partitionPower prices one complete partition (assignTo maps each group to
+// a memory in [0,used)), returning the member lists and total power.
+// feasible is false when any part's port demand exceeds the cap. Both
+// off-chip search modes price partitions through this one function, so the
+// accumulation order — and the float result — is identical.
+func (pr *problem) partitionPower(assignTo []int, used int) (parts [][]int, total float64, feasible bool) {
+	parts = make([][]int, used)
+	for gi, m := range assignTo {
+		parts[m] = append(parts[m], gi)
+	}
+	for _, members := range parts {
+		var st memState
+		st.recompute(pr, members)
+		pw, err := pr.offChipCost(&st)
+		if err != nil {
+			return nil, 0, false
+		}
+		total += pw
+	}
+	return parts, total, true
+}
+
+// offChipBinds materializes the winning off-chip partition into catalog
+// device bindings.
+func offChipBinds(pr *problem, bestParts [][]int) ([]Binding, error) {
 	var binds []Binding
 	for i, members := range bestParts {
 		var st memState
 		st.recompute(pr, members)
 		pw, err := pr.offChipCost(&st)
 		if err != nil {
-			return nil, 0, false, err
+			return nil, err
 		}
 		entry, err := pr.tech.DRAM.Select(st.words, memlib.CatalogWidth(st.bits))
 		if err != nil {
-			return nil, 0, false, err
+			return nil, err
 		}
 		ports := st.ports
 		if ports < 1 {
@@ -495,7 +527,7 @@ func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, flo
 		sort.Strings(b.Groups)
 		binds = append(binds, b)
 	}
-	return binds, bestPower, !stopped, nil
+	return binds, nil
 }
 
 // areaWeight is the mm²-to-mW exchange rate of the assignment objective:
@@ -504,25 +536,34 @@ func bestOffChip(ctx context.Context, pr *problem, sp *obs.Span) ([]Binding, flo
 // components separate.
 const areaWeight = 0.3
 
-// branchAndBound finds the cheapest assignment of pr.groups into exactly
-// maxMem on-chip memories (clamped to the group count: the designer
-// allocated them, the tool uses them — Table 4's sweep axis).
+// bbPre is the search-independent precomputation shared by the sequential
+// and parallel branch-and-bound: the decision order, the admissible
+// lower-bound tail sums, and the per-empty-memory bound term. Both search
+// modes derive it from the same code so their float arithmetic — and hence
+// their pruning decisions and costs — is bitwise identical.
+type bbPre struct {
+	order     []int     // decision order: group indices, decreasing weight
+	lbTail    []float64 // lbTail[i]: lower bound of groups order[i:]
+	emptyTerm float64   // bound contribution of each still-empty memory
+}
+
+// bbPrecompute builds the shared precomputation.
 //
-// The search is anytime: the greedy first-fit incumbent is computed before
-// the exact search starts, so when ctx is already done the exact search is
-// skipped entirely, and when ctx expires mid-search (polled every
-// cancelCheckInterval nodes) the best incumbent found so far is returned.
-// Both cases report optimal=false.
-func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, float64, bool, error) {
+// Groups are ordered by decreasing weight (accesses × width): decide the
+// expensive groups first for stronger pruning.
+//
+// The per-group optimistic marginal cost is the admissible lower bound of
+// the search: whatever memory ends up holding a group is at least as large
+// as the group itself, at least as wide, and has at least as many ports
+// as the group's own worst same-cycle multiplicity forces (selfPorts).
+// Energy and area are monotone in all three, so pricing the group at
+// exactly its own size/width/self-ports underestimates every real
+// placement. The dedicated-cell area term is dropped in in-place mode:
+// members with disjoint lifetimes share storage there, so a memory's
+// cells are not the sum of its members' — only the power floor remains
+// admissible.
+func (pr *problem) bbPrecompute() bbPre {
 	n := len(pr.groups)
-	if n == 0 {
-		return nil, 0, 0, true, nil
-	}
-	if maxMem > n {
-		maxMem = n
-	}
-	// Order groups by decreasing weight (accesses × width): decide the
-	// expensive groups first for stronger pruning.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -533,16 +574,6 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 		return wa > wb
 	})
 
-	// Per-group optimistic marginal cost, the admissible lower bound of the
-	// search: whatever memory ends up holding a group is at least as large
-	// as the group itself, at least as wide, and has at least as many ports
-	// as the group's own worst same-cycle multiplicity forces (selfPorts).
-	// Energy and area are monotone in all three, so pricing the group at
-	// exactly its own size/width/self-ports underestimates every real
-	// placement. The dedicated-cell area term is dropped in in-place mode:
-	// members with disjoint lifetimes share storage there, so a memory's
-	// cells are not the sum of its members' — only the power floor remains
-	// admissible.
 	lbTail := make([]float64, n+1)
 	lbOf := func(gi int) float64 {
 		g := pr.groups[gi]
@@ -561,6 +592,85 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	// Every still-empty memory must end up used (mustOpen enforces it), and
 	// its future members pay its instance overhead on top of their floors.
 	emptyTerm := pr.tech.SRAM.StaticPower + areaWeight*pr.tech.SRAM.FixedArea
+	return bbPre{order: order, lbTail: lbTail, emptyTerm: emptyTerm}
+}
+
+// greedyIncumbent runs the greedy first-fit assignment: each group (in
+// decision order) goes to the memory with the minimal marginal cost, forced
+// to leave room so every allocated memory ends up used. It returns the
+// assignment (group index -> memory) and its cost; ok is false when greedy
+// finds no feasible placement. Both search modes seed their incumbent from
+// this one function, so the baseline cost is bitwise identical.
+func greedyIncumbent(pr *problem, maxMem int, pre *bbPre) (assign []int, cost float64, ok bool) {
+	n := len(pr.groups)
+	mems := make([]*memState, maxMem)
+	for i := range mems {
+		mems[i] = &memState{vec: make([]int, pr.nPat)}
+	}
+	memCost := make([]float64, maxMem)
+	var curCost float64
+	emptyCnt := maxMem
+	curAssign := make([]int, n)
+	for step, gi := range pre.order {
+		remaining := n - step
+		mustOpen := remaining <= emptyCnt
+		bestM, bestDelta := -1, math.Inf(1)
+		for m := 0; m < maxMem; m++ {
+			if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
+				break // symmetry: only the first empty memory matters
+			}
+			if mustOpen && mems[m].nGroups > 0 {
+				continue
+			}
+			u := mems[m].push(pr, gi)
+			area, power, err := pr.onChipCost(mems[m])
+			delta := power + areaWeight*area - memCost[m]
+			mems[m].pop(pr, gi, u)
+			if err == nil && delta < bestDelta {
+				bestM, bestDelta = m, delta
+			}
+		}
+		if bestM < 0 {
+			return nil, 0, false
+		}
+		if mems[bestM].nGroups == 0 {
+			emptyCnt--
+		}
+		mems[bestM].push(pr, gi)
+		a, p2, _ := pr.onChipCost(mems[bestM])
+		curCost += p2 + areaWeight*a - memCost[bestM]
+		memCost[bestM] = p2 + areaWeight*a
+		curAssign[gi] = bestM
+	}
+	return curAssign, curCost, true
+}
+
+// branchAndBound finds the cheapest assignment of pr.groups into exactly
+// maxMem on-chip memories (clamped to the group count: the designer
+// allocated them, the tool uses them — Table 4's sweep axis).
+//
+// The search is anytime: the greedy first-fit incumbent is computed before
+// the exact search starts, so when ctx is already done the exact search is
+// skipped entirely, and when ctx expires mid-search (polled every
+// cancelCheckInterval nodes) the best incumbent found so far is returned.
+// Both cases report optimal=false.
+//
+// With a worker pool wider than one, a large enough problem is handed to
+// branchAndBoundParallel, which splits the search tree into independent
+// subproblems and returns byte-identical results for completed searches.
+func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) ([]Binding, float64, float64, bool, error) {
+	n := len(pr.groups)
+	if n == 0 {
+		return nil, 0, 0, true, nil
+	}
+	if maxMem > n {
+		maxMem = n
+	}
+	if wp := pr.p.Workers; wp.Workers() > 1 && n >= minParallelGroups && pr.p.NodeBudget >= minParallelBudget {
+		return branchAndBoundParallel(ctx, pr, maxMem, sp, wp)
+	}
+	pre := pr.bbPrecompute()
+	order, lbTail, emptyTerm := pre.order, pre.lbTail, pre.emptyTerm
 
 	mems := make([]*memState, maxMem)
 	members := make([][]int, maxMem)
@@ -575,55 +685,10 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	bestAssign := make([]int, n) // group index -> memory
 	curAssign := make([]int, n)
 
-	// Greedy incumbent: first-fit by minimal marginal cost, forced to leave
-	// room so every allocated memory ends up used.
-	greedyAssign := func() bool {
-		for step, gi := range order {
-			remaining := n - step
-			mustOpen := remaining <= emptyCnt
-			bestM, bestDelta := -1, math.Inf(1)
-			for m := 0; m < maxMem; m++ {
-				if mems[m].nGroups == 0 && m > 0 && mems[m-1].nGroups == 0 {
-					break // symmetry: only the first empty memory matters
-				}
-				if mustOpen && mems[m].nGroups > 0 {
-					continue
-				}
-				u := mems[m].push(pr, gi)
-				area, power, err := pr.onChipCost(mems[m])
-				delta := power + areaWeight*area - memCost[m]
-				mems[m].pop(pr, gi, u)
-				if err == nil && delta < bestDelta {
-					bestM, bestDelta = m, delta
-				}
-			}
-			if bestM < 0 {
-				return false
-			}
-			if mems[bestM].nGroups == 0 {
-				emptyCnt--
-			}
-			mems[bestM].push(pr, gi)
-			members[bestM] = append(members[bestM], gi)
-			a, p2, _ := pr.onChipCost(mems[bestM])
-			curCost += p2 + areaWeight*a - memCost[bestM]
-			memCost[bestM] = p2 + areaWeight*a
-			curAssign[gi] = bestM
-		}
-		return true
+	if gAssign, gCost, ok := greedyIncumbent(pr, maxMem, &pre); ok {
+		bestCost = gCost
+		copy(bestAssign, gAssign)
 	}
-	if greedyAssign() {
-		bestCost = curCost
-		copy(bestAssign, curAssign)
-	}
-	// Reset state for the exact search.
-	for i := range mems {
-		mems[i] = &memState{vec: make([]int, pr.nPat)}
-		members[i] = nil
-		memCost[i] = 0
-	}
-	curCost = 0
-	emptyCnt = maxMem
 
 	// Search-effort counters: plain locals inside the hot loop, emitted once
 	// at the end so the instrumented search runs at full speed.
@@ -736,7 +801,16 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 			"assign: no feasible on-chip assignment with %d memories (conflicts demand more)", maxMem)
 	}
 
-	// Materialize the best assignment.
+	binds, totalArea, totalPower, err := materializeOnChip(pr, maxMem, bestAssign)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return binds, totalArea, totalPower, !exhausted && !stopped, nil
+}
+
+// materializeOnChip turns the winning assignment vector into memory
+// bindings, re-deriving each memory's aggregate and price from scratch.
+func materializeOnChip(pr *problem, maxMem int, bestAssign []int) ([]Binding, float64, float64, error) {
 	finalMembers := make([][]int, maxMem)
 	for gi, m := range bestAssign {
 		finalMembers[m] = append(finalMembers[m], gi)
@@ -752,7 +826,7 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 		st.recompute(pr, finalMembers[m])
 		area, power, err := pr.onChipCost(&st)
 		if err != nil {
-			return nil, 0, 0, false, err
+			return nil, 0, 0, err
 		}
 		ports := st.ports
 		if ports < 1 {
@@ -778,7 +852,7 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 		totalPower += power
 		idx++
 	}
-	return binds, totalArea, totalPower, !exhausted && !stopped, nil
+	return binds, totalArea, totalPower, nil
 }
 
 // Greedy returns the greedy-only assignment (the baseline a designer

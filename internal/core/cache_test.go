@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/spec"
 )
 
@@ -127,5 +128,51 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	if cached.Final.Asgn.Optimal != plain.Final.Asgn.Optimal {
 		t.Errorf("final Optimal flag differs: cached=%v uncached=%v",
 			cached.Final.Asgn.Optimal, plain.Final.Asgn.Optimal)
+	}
+}
+
+// TestParallelRunMatchesSerial: the worker pool must only change wall-clock
+// time, never results. A strictly sequential run (workers=1) and a wide
+// parallel run (workers=8) of the full methodology must render byte-identical
+// tables and figures — with the session cache on and off.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	run := func(workers int, cache bool) *Results {
+		t.Helper()
+		ep := DefaultEvalParams().ScaleTo(64)
+		ep.Workers = pool.New(workers)
+		if !cache {
+			ep.Memo = nil
+		}
+		r, err := RunAll(DemoConfig{Size: 64}, ep)
+		if err != nil {
+			t.Fatalf("workers=%d cache=%v: %v", workers, cache, err)
+		}
+		return r
+	}
+	for _, cache := range []bool{true, false} {
+		serial := run(1, cache)
+		wide := run(8, cache)
+		renders := []struct {
+			name         string
+			serial, wide string
+		}{
+			{"Table1", serial.Table1().Render(), wide.Table1().Render()},
+			{"Table2", serial.Table2().Render(), wide.Table2().Render()},
+			{"Table3", serial.Table3().Render(), wide.Table3().Render()},
+			{"Table4", serial.Table4().Render(), wide.Table4().Render()},
+			{"Figure1", serial.Figure1(), wide.Figure1()},
+			{"Figure2", serial.Figure2(), wide.Figure2()},
+			{"Figure3", serial.Figure3(), wide.Figure3()},
+		}
+		for _, r := range renders {
+			if r.serial != r.wide {
+				t.Errorf("cache=%v: %s differs between workers=1 and workers=8:\nserial:\n%s\nparallel:\n%s",
+					cache, r.name, r.serial, r.wide)
+			}
+		}
+		if serial.Final.Asgn.Optimal != wide.Final.Asgn.Optimal {
+			t.Errorf("cache=%v: final Optimal flag differs: serial=%v parallel=%v",
+				cache, serial.Final.Asgn.Optimal, wide.Final.Asgn.Optimal)
+		}
 	}
 }

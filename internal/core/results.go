@@ -122,10 +122,12 @@ func RunAllContext(ctx context.Context, cfg DemoConfig, ep EvalParams) (*Results
 		fsp.SetFloat("onchip_area_mm2", r.Final.Cost.OnChipArea)
 	}
 	fsp.End()
-	// Snapshot the session cache's hit rates into the telemetry session
-	// (memo.hits{space=...} etc.), so traces and -stats report how much of
-	// the sweep was answered from the cache.
+	// Snapshot the session cache's hit rates and the worker pool's
+	// spawn/inline counts into the telemetry session (memo.hits{space=...},
+	// pool.spawns, ...), so traces and -stats report how much of the sweep
+	// was answered from the cache and how the work was scheduled.
 	ep.Memo.Publish(ep.Obs)
+	ep.Workers.Publish(ep.Obs)
 	return r, nil
 }
 

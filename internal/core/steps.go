@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/assign"
 	"repro/internal/bgstruct"
@@ -11,40 +10,11 @@ import (
 	"repro/internal/memlib"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/reuse"
 	"repro/internal/sbd"
 	"repro/internal/spec"
 )
-
-// parallelEach runs f(0..n-1) concurrently. Evaluations only read the
-// shared specification, so the sweeps parallelize safely; results are
-// collected by index, keeping every exploration deterministic.
-//
-// Cancellation propagates at spawn time: once ctx is done, items beyond the
-// first are not launched. Item 0 always runs — it is each sweep's reference
-// point (the full budget, the smallest allocation), so even a fully expired
-// context yields at least one row, and that row itself degrades internally
-// via the context it is handed.
-func parallelEach(ctx context.Context, n int, f func(i int)) {
-	done := ctx.Done()
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		if i > 0 && done != nil {
-			select {
-			case <-done:
-				wg.Wait()
-				return
-			default:
-			}
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			f(i)
-		}(i)
-	}
-	wg.Wait()
-}
 
 // EvalParams bundles the technology and tool parameters shared by all
 // evaluation calls of one exploration session.
@@ -70,6 +40,17 @@ type EvalParams struct {
 	// to disable caching (the -cache=off path). Results are byte-identical
 	// either way — the cache only removes redundant work.
 	Memo *memo.Cache
+
+	// Workers is the session-wide bounded worker pool shared by every
+	// parallel stage: the hierarchy/budget/allocation sweeps fan their
+	// candidates out on it, and the assignment search splits its
+	// branch-and-bound subtrees on it. One pool bounds the whole session's
+	// concurrency, and its inline-run fallback keeps the nesting
+	// deadlock-free. DefaultEvalParams attaches a GOMAXPROCS-wide pool; nil
+	// (or a 1-wide pool) runs everything sequentially. Results are
+	// byte-identical at any width — the sweeps collect by index and the
+	// search merges deterministically.
+	Workers *pool.Pool
 }
 
 // startSpan opens a telemetry span for one pipeline stage: a child of the
@@ -98,6 +79,7 @@ func DefaultEvalParams() EvalParams {
 		Assign:      assign.Params{OnChipMaxWords: tech.OnChipMaxWords},
 		OnChipCount: 4,
 		Memo:        memo.New(),
+		Workers:     pool.New(0),
 	}
 }
 
@@ -171,6 +153,7 @@ func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label str
 	}
 	asgnP := ep.Assign
 	asgnP.Obs = ep.Span
+	asgnP.Workers = ep.Workers
 	var asgn *assign.Assignment
 	retries := 0
 	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {
@@ -281,7 +264,7 @@ func ExploreHierarchyContext(ctx context.Context, s *spec.Spec, d *Demonstrator,
 	hierarchies := make([]*reuse.Hierarchy, len(options))
 	errs := make([]error, len(options))
 	sp.SetInt("candidates", int64(len(options)))
-	parallelEach(ctx, len(options), func(i int) {
+	ep.Workers.ForEach(ctx, len(options), func(i int) {
 		h, err := reuse.PlanObserved("image", options[i].layers, d.ImageProfile, ep.Span)
 		if err != nil {
 			errs[i] = err
@@ -305,7 +288,7 @@ func ExploreHierarchyContext(ctx context.Context, s *spec.Spec, d *Demonstrator,
 			return nil, nil, err
 		}
 	}
-	// Compact the candidates parallelEach never launched (expired context):
+	// Compact the candidates the pool never launched (expired context):
 	// the launched ones all evaluated (or errored above), so nil means
 	// skipped, and variants/hierarchies stay index-aligned.
 	outV := variants[:0]
@@ -371,7 +354,7 @@ func budgetSweep(ctx context.Context, s *spec.Spec, fullBudget uint64, fracs []f
 		sp.SetInt("pipelined", pipelined)
 	}
 	variants := make([]*Variant, len(fracs))
-	parallelEach(ctx, len(fracs), func(i int) {
+	ep.Workers.ForEach(ctx, len(fracs), func(i int) {
 		budget := uint64(float64(fullBudget) * fracs[i])
 		v, err := EvaluateContext(ctx, s, budget, fmt.Sprintf("budget %.0f%%", 100*fracs[i]), ep)
 		if err != nil {
@@ -433,9 +416,10 @@ func ExploreAllocationsContext(ctx context.Context, s *spec.Spec, dist *sbd.Dist
 	// derivation into a lookup.
 	pats := sbd.PrunePatternsCached(ep.Memo, dist.Patterns)
 	asgns := make([]*assign.Assignment, len(counts))
-	parallelEach(ctx, len(counts), func(i int) {
+	ep.Workers.ForEach(ctx, len(counts), func(i int) {
 		ap := ep.Assign
 		ap.Obs = ep.Span
+		ap.Workers = ep.Workers
 		if a, err := assign.AssignContext(ctx, s, pats, ep.Tech, counts[i], ap); err == nil {
 			asgns[i] = a
 		}

@@ -14,9 +14,10 @@
 // The cache is concurrency-safe and deduplicates in-flight computations
 // (singleflight): when the parallel sweep goroutines request the same key
 // simultaneously, one computes and the others wait for its result instead
-// of redoing the work. A nil *Cache is valid everywhere and disables
-// caching: Do simply invokes compute, the same idiom as the nil
-// obs.Observer.
+// of redoing the work. Each keyspace is sharded by key hash so that cache
+// hits from many workers do not contend on a single mutex. A nil *Cache is
+// valid everywhere and disables caching: Do simply invokes compute, the
+// same idiom as the nil obs.Observer.
 package memo
 
 import (
@@ -71,6 +72,7 @@ type Stats struct {
 	Hits          int64 // Do calls answered from the cache
 	Misses        int64 // Do calls that ran compute
 	InflightWaits int64 // Do calls that waited for a concurrent compute
+	Contended     int64 // shard-lock acquisitions that had to block
 	Entries       int   // cached values currently held
 }
 
@@ -82,20 +84,63 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// entry is one slot of a keyspace: done is closed when the computation
-// finished, after val (and ok, the cacheable flag) were written — the
-// close/receive pair orders the reads.
+// entry is one slot of a keyspace shard: done is closed when the
+// computation finished, after val (and ok, the cacheable flag) were written
+// — the close/receive pair orders the reads.
+//
+// When a compute finishes uncacheable while callers are blocked on it, the
+// computer installs a successor entry (next) in the map before closing
+// done: exactly one waiter claims the successor (the claimed CAS) and
+// becomes its computer; the rest re-singleflight onto it. This replaces the
+// old behaviour where every waiter looped back through the map and raced to
+// become the next computer.
 type entry struct {
-	done chan struct{}
-	val  any
-	ok   bool
+	done    chan struct{}
+	val     any
+	ok      bool
+	next    *entry       // successor installed on uncacheable completion
+	waiters atomic.Int64 // callers blocked on done (registered under lock)
+	claimed atomic.Bool  // successor takeover: first CAS winner computes
+}
+
+// shardCount is the number of map+mutex shards per keyspace. 64 shards keep
+// the parallel search's cache hits from funnelling through one mutex; the
+// power of two makes the hash fold a mask.
+const shardCount = 64
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*entry
 }
 
 type space struct {
-	mu sync.Mutex
-	m  map[string]*entry
+	shards [shardCount]shard
 
-	hits, misses, waits atomic.Int64
+	hits, misses, waits, contended atomic.Int64
+}
+
+// lock takes the shard mutex, counting acquisitions that had to block (the
+// shard-contention telemetry).
+func (s *space) lock(sh *shard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	sh.mu.Lock()
+}
+
+// shardFor picks the shard of a key (FNV-1a folded to the shard mask).
+func (s *space) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(shardCount-1)]
 }
 
 // Cache is one exploration session's memoization state. Values stored in
@@ -108,7 +153,9 @@ type Cache struct {
 func New() *Cache {
 	c := &Cache{}
 	for i := range c.spaces {
-		c.spaces[i].m = make(map[string]*entry)
+		for j := range c.spaces[i].shards {
+			c.spaces[i].shards[j].m = make(map[string]*entry)
+		}
 	}
 	return c
 }
@@ -118,7 +165,8 @@ func New() *Cache {
 // degraded by a canceled context must report false, so that later callers
 // with a live context recompute it. Concurrent Do calls with the same key
 // share one compute (singleflight); when that compute turns out
-// uncacheable, its waiters fall back to computing for themselves.
+// uncacheable, exactly one waiter takes over as the next computer and the
+// remaining waiters singleflight onto it.
 //
 // Safe on a nil Cache: compute runs unconditionally and nothing is
 // recorded.
@@ -128,39 +176,92 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 		return v
 	}
 	s := &c.spaces[sp]
-	for {
-		s.mu.Lock()
-		if e, found := s.m[key]; found {
-			select {
-			case <-e.done: // finished: a plain hit
-				s.mu.Unlock()
-				s.hits.Add(1)
-				return e.val
-			default: // in flight: wait for the computing goroutine
-			}
-			s.mu.Unlock()
-			s.waits.Add(1)
-			<-e.done
-			if e.ok {
-				s.hits.Add(1)
-				return e.val
-			}
-			continue // uncacheable result: compute for ourselves
-		}
-		e := &entry{done: make(chan struct{})}
-		s.m[key] = e
-		s.mu.Unlock()
+	sh := s.shardFor(key)
+
+	s.lock(sh)
+	e, found := sh.m[key]
+	if !found {
+		e = &entry{done: make(chan struct{})}
+		sh.m[key] = e
+		sh.mu.Unlock()
 		s.misses.Add(1)
-		val, cacheable := compute()
-		e.val, e.ok = val, cacheable
-		if !cacheable {
-			s.mu.Lock()
-			delete(s.m, key)
-			s.mu.Unlock()
-		}
-		close(e.done)
-		return val
+		return s.runCompute(sh, key, e, compute)
 	}
+	select {
+	case <-e.done: // finished: a plain hit, or an uncacheable chain to walk
+		sh.mu.Unlock()
+		if e.ok {
+			s.hits.Add(1)
+			return e.val
+		}
+	default: // in flight: register as waiter before releasing the lock, so
+		// the computer's handoff decision cannot miss us
+		e.waiters.Add(1)
+		sh.mu.Unlock()
+		s.waits.Add(1)
+	}
+
+	for {
+		<-e.done
+		if e.ok {
+			s.hits.Add(1)
+			return e.val
+		}
+		if next := e.next; next != nil {
+			// Uncacheable result with a successor: exactly one waiter takes
+			// over the compute, the rest wait on the successor.
+			if next.claimed.CompareAndSwap(false, true) {
+				s.misses.Add(1)
+				return s.runCompute(sh, key, next, compute)
+			}
+			next.waiters.Add(1)
+			s.waits.Add(1)
+			e = next
+			continue
+		}
+		// Uncacheable with no successor (no waiter was registered when the
+		// computer finished): re-enter through the map.
+		s.lock(sh)
+		e2, found := sh.m[key]
+		if !found {
+			e2 = &entry{done: make(chan struct{})}
+			sh.m[key] = e2
+			sh.mu.Unlock()
+			s.misses.Add(1)
+			return s.runCompute(sh, key, e2, compute)
+		}
+		select {
+		case <-e2.done:
+			sh.mu.Unlock()
+		default:
+			e2.waiters.Add(1)
+			sh.mu.Unlock()
+			s.waits.Add(1)
+		}
+		e = e2
+	}
+}
+
+// runCompute executes compute as the owner of entry e and publishes the
+// result. A cacheable result stays in the map; an uncacheable one is
+// removed, handing the slot to exactly one blocked waiter (via a successor
+// entry) when any are registered.
+func (s *space) runCompute(sh *shard, key string, e *entry, compute func() (any, bool)) any {
+	val, cacheable := compute()
+	e.val, e.ok = val, cacheable
+	if !cacheable {
+		s.lock(sh)
+		if e.waiters.Load() > 0 {
+			next := &entry{done: make(chan struct{})}
+			e.next = next
+			sh.m[key] = next
+		} else if sh.m[key] == e {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	close(e.done)
+	return val
 }
 
 // Stats returns the accounting of one keyspace.
@@ -169,21 +270,27 @@ func (c *Cache) Stats(sp Space) Stats {
 		return Stats{}
 	}
 	s := &c.spaces[sp]
-	s.mu.Lock()
-	n := len(s.m)
-	s.mu.Unlock()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
 	return Stats{
 		Hits:          s.hits.Load(),
 		Misses:        s.misses.Load(),
 		InflightWaits: s.waits.Load(),
+		Contended:     s.contended.Load(),
 		Entries:       n,
 	}
 }
 
 // Publish snapshots the per-keyspace counters into the observer as gauges
 // (memo.hits{space=...}, memo.misses{...}, memo.inflight_waits{...},
-// memo.entries{...}), so traces and -stats report the session's hit rates.
-// Safe on a nil Cache or nil Observer; idempotent (gauges, not counters).
+// memo.contended{...}, memo.entries{...}), so traces and -stats report the
+// session's hit rates and shard contention. Safe on a nil Cache or nil
+// Observer; idempotent (gauges, not counters).
 func (c *Cache) Publish(o *obs.Observer) {
 	if c == nil || o == nil {
 		return
@@ -197,6 +304,7 @@ func (c *Cache) Publish(o *obs.Observer) {
 		o.Gauge(obs.Label("memo.hits", "space", name)).Set(st.Hits)
 		o.Gauge(obs.Label("memo.misses", "space", name)).Set(st.Misses)
 		o.Gauge(obs.Label("memo.inflight_waits", "space", name)).Set(st.InflightWaits)
+		o.Gauge(obs.Label("memo.contended", "space", name)).Set(st.Contended)
 		o.Gauge(obs.Label("memo.entries", "space", name)).Set(int64(st.Entries))
 	}
 }
@@ -208,8 +316,8 @@ func (c *Cache) StatsString() string {
 		return "(cache disabled)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %10s %10s %10s %8s %8s\n",
-		"keyspace", "hits", "misses", "waits", "entries", "hit-rate")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %8s %8s\n",
+		"keyspace", "hits", "misses", "waits", "contended", "entries", "hit-rate")
 	names := make([]string, 0, int(numSpaces))
 	for sp := Space(0); sp < numSpaces; sp++ {
 		names = append(names, sp.String())
@@ -223,8 +331,8 @@ func (c *Cache) StatsString() string {
 			}
 		}
 		st := c.Stats(sp)
-		fmt.Fprintf(&b, "%-16s %10d %10d %10d %8d %7.1f%%\n",
-			name, st.Hits, st.Misses, st.InflightWaits, st.Entries, 100*st.HitRate())
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %8d %7.1f%%\n",
+			name, st.Hits, st.Misses, st.InflightWaits, st.Contended, st.Entries, 100*st.HitRate())
 	}
 	return b.String()
 }

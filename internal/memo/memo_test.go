@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -126,6 +127,118 @@ func TestDoSingleflightUncacheableWaitersRecompute(t *testing.T) {
 	v := c.Do(Schedule, "k", func() (any, bool) { return "wrong", true })
 	if v != "fresh" {
 		t.Fatalf("third Do = %v, want cached \"fresh\"", v)
+	}
+}
+
+// TestDoUncacheableHandoffSingleTakeover pins the waiter-takeover compute
+// count: when an in-flight compute finishes uncacheable with N waiters
+// blocked on it, exactly one waiter becomes the next computer — total
+// computes must be exactly 2 (the degraded original plus one takeover) and
+// every waiter must observe the takeover's value.
+func TestDoUncacheableHandoffSingleTakeover(t *testing.T) {
+	c := New()
+	const waiters = 8
+	release := make(chan struct{})
+	firstIn := make(chan struct{})
+	var takeoverComputes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(Schedule, "k", func() (any, bool) {
+			close(firstIn)
+			<-release
+			return "degraded", false
+		})
+	}()
+	<-firstIn
+	results := make([]any, waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do(Schedule, "k", func() (any, bool) {
+				takeoverComputes.Add(1)
+				return "fresh", true
+			})
+		}(i)
+	}
+	// Every waiter registers (and bumps InflightWaits) before blocking, so
+	// the poll guarantees all of them are queued on the in-flight entry.
+	for c.Stats(Schedule).InflightWaits < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := takeoverComputes.Load(); n != 1 {
+		t.Fatalf("takeover ran %d computes, want exactly 1 (one waiter takes over)", n)
+	}
+	for i, r := range results {
+		if r != "fresh" {
+			t.Fatalf("waiter %d got %v, want the takeover's \"fresh\"", i, r)
+		}
+	}
+	// The takeover's cacheable result must now serve hits.
+	if v := c.Do(Schedule, "k", func() (any, bool) { return "wrong", true }); v != "fresh" {
+		t.Fatalf("post-handoff Do = %v, want cached \"fresh\"", v)
+	}
+}
+
+// TestDoAllUncacheableChain: when every compute is uncacheable, the
+// takeover chain drains one waiter per round — each caller computes at most
+// once (no stampede, no lost caller) and nothing is left in the map.
+func TestDoAllUncacheableChain(t *testing.T) {
+	c := New()
+	const callers = 8
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do(Schedule, "k", func() (any, bool) {
+				computes.Add(1)
+				runtime.Gosched()
+				return i, false
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n > callers {
+		t.Fatalf("%d computes for %d callers (stampede)", n, callers)
+	}
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("caller %d got %v, want its own uncacheable result %d", i, r, i)
+		}
+	}
+	if st := c.Stats(Schedule); st.Entries != 0 {
+		t.Fatalf("uncacheable chain left %d entries in the map", st.Entries)
+	}
+}
+
+// TestShardDistribution: keys spread over multiple shards, and per-shard
+// entries sum to the space's entry count.
+func TestShardDistribution(t *testing.T) {
+	c := New()
+	const keys = 512
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.Do(Ports, k, func() (any, bool) { return i, true })
+	}
+	if st := c.Stats(Ports); st.Entries != keys {
+		t.Fatalf("entries = %d, want %d", st.Entries, keys)
+	}
+	s := &c.spaces[Ports]
+	used := 0
+	for i := range s.shards {
+		if len(s.shards[i].m) > 0 {
+			used++
+		}
+	}
+	if used < shardCount/2 {
+		t.Fatalf("%d keys landed in only %d/%d shards (bad hash spread)", keys, used, shardCount)
 	}
 }
 
