@@ -1,0 +1,158 @@
+// Command dtsed is the exploration-as-a-service daemon: a long-running
+// HTTP server that owns one exploration session (shared cross-variant
+// evaluation cache, shared bounded worker pool, shared telemetry) and
+// answers exploration requests against it.
+//
+// Usage:
+//
+//	dtsed [-addr 127.0.0.1:8321] [-concurrency N] [-queue N]
+//	      [-timeout 0] [-max-timeout 0] [-workers N] [-drain 5s]
+//	      [-trace out.jsonl] [-cache on|off]
+//
+// Endpoints:
+//
+//	POST /v1/explore  {"spec": {...}, "budget": N, "timeout_ms": N,
+//	                   "params": {...}}  or  {"demo": {"size": N, ...}}
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     JSON counters, gauges, cache stats, latency p50/p99
+//
+// Explorations are anytime: a request whose deadline (-timeout, or its own
+// timeout_ms) expires gets its best-effort organization, flagged
+// optimal=false / degraded=true, instead of an error. Identical requests
+// are deduplicated through the session cache — concurrent duplicates share
+// one exploration — and degraded responses are never cached.
+//
+// On SIGINT/SIGTERM the daemon drains: health turns 503, new explorations
+// are refused, and in-flight ones run to completion. After -drain the
+// remaining explorations are degraded to their anytime results and the
+// responses still complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dtsed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	concurrency := fs.Int("concurrency", runtime.GOMAXPROCS(0), "explorations running at once")
+	queue := fs.Int("queue", 0, "requests waiting for a slot before 429 (0 = 2x concurrency)")
+	timeout := fs.Duration("timeout", 0, "default per-request exploration deadline (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = none)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool width shared by all explorations")
+	drain := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight explorations are degraded")
+	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
+	cache := fs.String("cache", "on", "session cache: on or off (responses are identical either way)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cache != "on" && *cache != "off" {
+		fmt.Fprintf(stderr, "dtsed: -cache %q invalid (want on or off)\n", *cache)
+		fs.Usage()
+		return 2
+	}
+	if *concurrency < 1 || *workers < 1 {
+		fmt.Fprintln(stderr, "dtsed: -concurrency and -workers must be >= 1")
+		fs.Usage()
+		return 2
+	}
+	if *timeout < 0 || *maxTimeout < 0 || *drain < 0 || *queue < 0 {
+		fmt.Fprintln(stderr, "dtsed: durations and -queue must be >= 0")
+		fs.Usage()
+		return 2
+	}
+
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "dtsed:", err)
+			return 1
+		}
+		traceFile = f
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	observer := obs.New(sinks...) // always on: /metrics serves its snapshot
+
+	srv := dtse.NewServer(dtse.ServeOptions{
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Workers:        *workers,
+		Obs:            observer,
+		NoCache:        *cache == "off",
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dtsed:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "dtsed: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "dtsed:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop routing (healthz 503, new explorations
+	// refused), wait up to -drain for in-flight explorations, then degrade
+	// the stragglers to their anytime results — every accepted request
+	// still gets a complete response.
+	srv.BeginDrain()
+	fmt.Fprintf(stderr, "dtsed: draining (%d exploration(s) in flight)\n", srv.Inflight())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	err = httpSrv.Shutdown(shutCtx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(stderr, "dtsed: drain deadline hit, degrading in-flight explorations")
+		srv.Abort()
+		// Anytime semantics bound this second wait: every exploration
+		// returns promptly once its context dies.
+		if err := httpSrv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "dtsed:", err)
+		}
+	}
+
+	if err := observer.Flush(); err != nil {
+		fmt.Fprintln(stderr, "dtsed: telemetry flush:", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "dtsed:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "(telemetry trace written to %s)\n", *traceOut)
+	}
+	fmt.Fprintln(stdout, "dtsed: shut down cleanly")
+	return 0
+}

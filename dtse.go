@@ -30,6 +30,13 @@
 // ReproduceBTPC runs the complete stepwise methodology on the profiled BTPC
 // demonstrator and returns every explored alternative plus the regenerated
 // tables and figures (see also cmd/dtse).
+//
+// # Serving
+//
+// NewServer wraps one exploration session (shared evaluation cache, shared
+// worker pool, shared telemetry) in an HTTP API with request deduplication,
+// bounded admission, per-request deadlines, and graceful draining — see
+// Server, ServeOptions, and the cmd/dtsed daemon.
 package dtse
 
 import (

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/memo"
 	"repro/internal/obs"
@@ -128,6 +129,91 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	if cached.Final.Asgn.Optimal != plain.Final.Asgn.Optimal {
 		t.Errorf("final Optimal flag differs: cached=%v uncached=%v",
 			cached.Final.Asgn.Optimal, plain.Final.Asgn.Optimal)
+	}
+}
+
+// renderAll renders every table and figure of a Results for byte-comparison.
+func renderAll(r *Results) map[string]string {
+	return map[string]string{
+		"Table1":  r.Table1().Render(),
+		"Table2":  r.Table2().Render(),
+		"Table3":  r.Table3().Render(),
+		"Table4":  r.Table4().Render(),
+		"Figure1": r.Figure1(),
+		"Figure2": r.Figure2(),
+		"Figure3": r.Figure3(),
+	}
+}
+
+// TestDegradedRunDoesNotPoisonSessionCache is the serving-path regression
+// the exploration service depends on: a deadline-degraded exploration and a
+// full-budget exploration share one session cache (ep.Memo), and the
+// full-budget run must render byte-identical tables and figures to an
+// entirely uncached run — best-effort schedules must never be served to a
+// later request from the cache.
+func TestDegradedRunDoesNotPoisonSessionCache(t *testing.T) {
+	ep := DefaultEvalParams().ScaleTo(64)
+
+	// 1. Tight-timeout explore on the shared session (context expired before
+	// the exploration even starts — maximal degradation).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	degraded, err := RunAllContext(ctx, DemoConfig{Size: 64}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Final == nil {
+		t.Fatal("degraded run returned no final organization")
+	}
+
+	// 2. Unlimited explore on the SAME session.
+	warm, err := RunAll(DemoConfig{Size: 64}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Reference: an uncached run.
+	epPlain := DefaultEvalParams().ScaleTo(64)
+	epPlain.Memo = nil
+	plain, err := RunAll(DemoConfig{Size: 64}, epPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRenders := renderAll(plain)
+	for name, got := range renderAll(warm) {
+		if got != wantRenders[name] {
+			t.Errorf("session poisoned by the degraded run: %s differs\nwarm:\n%s\nuncached:\n%s",
+				name, got, wantRenders[name])
+		}
+	}
+	if warm.Final.Asgn.Optimal != plain.Final.Asgn.Optimal {
+		t.Errorf("final Optimal flag differs after a degraded run shared the session: warm=%v uncached=%v",
+			warm.Final.Asgn.Optimal, plain.Final.Asgn.Optimal)
+	}
+
+	// Mid-flight expiry (not just dead-on-arrival): whatever prefix of the
+	// pipeline a real deadline manages to complete, the next full run on the
+	// session must still be byte-identical to the uncached reference.
+	if !testing.Short() {
+		for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 25 * time.Millisecond} {
+			ep := DefaultEvalParams().ScaleTo(64)
+			dctx, dcancel := context.WithTimeout(context.Background(), d)
+			if _, err := RunAllContext(dctx, DemoConfig{Size: 64}, ep); err != nil {
+				dcancel()
+				t.Fatalf("deadline %v: %v", d, err)
+			}
+			dcancel()
+			warm, err := RunAll(DemoConfig{Size: 64}, ep)
+			if err != nil {
+				t.Fatalf("deadline %v warm run: %v", d, err)
+			}
+			for name, got := range renderAll(warm) {
+				if got != wantRenders[name] {
+					t.Errorf("deadline %v poisoned the session: %s differs", d, name)
+				}
+			}
+		}
 	}
 }
 

@@ -48,9 +48,8 @@ func RunAll(cfg DemoConfig, ep EvalParams) (*Results, error) {
 // profiling encode itself is not cancelable; the context takes effect from
 // the reuse analysis onward.
 func RunAllContext(ctx context.Context, cfg DemoConfig, ep EvalParams) (*Results, error) {
-	root := ep.Obs.Start("run_all")
+	root, ep := ep.startSpan("run_all")
 	defer root.End()
-	ep.Span = root
 
 	psp := root.Child("profile")
 	demo, err := buildDemonstratorObsContext(ctx, cfg, psp)

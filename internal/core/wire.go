@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/assign"
+	"repro/internal/report"
+)
+
+// Wire representations of exploration results for the serving path. The
+// structs mirror what the CLI tools print — cost feedback, memory
+// organization, budget headroom — as plain JSON instead of rendered text,
+// so a client can consume the numbers without re-parsing tables. Rendered
+// tables and figures still travel alongside (byte-identical to the cmd/dtse
+// output) for human eyes and for byte-comparison tests.
+
+// CostWire is the accurate cost feedback of one organization, units in the
+// field names (the paper reports mm² and mW).
+type CostWire struct {
+	OnChipAreaMM2  float64 `json:"onchip_area_mm2"`
+	OnChipPowerMW  float64 `json:"onchip_power_mw"`
+	OffChipPowerMW float64 `json:"offchip_power_mw"`
+	TotalPowerMW   float64 `json:"total_power_mw"`
+}
+
+func costWire(c assign.Cost) CostWire {
+	return CostWire{
+		OnChipAreaMM2:  c.OnChipArea,
+		OnChipPowerMW:  c.OnChipPower,
+		OffChipPowerMW: c.OffChipPower,
+		TotalPowerMW:   c.TotalPower(),
+	}
+}
+
+// BindingWire is one allocated memory with its assigned basic groups.
+type BindingWire struct {
+	Memory  string   `json:"memory"`
+	Kind    string   `json:"kind"` // "on-chip" | "off-chip"
+	Words   int64    `json:"words"`
+	Bits    int      `json:"bits"`
+	Ports   int      `json:"ports"`
+	Groups  []string `json:"groups"`
+	PowerMW float64  `json:"power_mw"`
+	AreaMM2 float64  `json:"area_mm2"`
+}
+
+func bindingWires(bs []assign.Binding) []BindingWire {
+	out := make([]BindingWire, len(bs))
+	for i, b := range bs {
+		out[i] = BindingWire{
+			Memory:  b.Mem.Name,
+			Kind:    b.Mem.Kind.String(),
+			Words:   b.Mem.Words,
+			Bits:    b.Mem.Bits,
+			Ports:   b.Mem.Ports,
+			Groups:  append([]string(nil), b.Groups...),
+			PowerMW: b.Power,
+			AreaMM2: b.Area,
+		}
+	}
+	return out
+}
+
+// VariantWire is one fully evaluated design alternative on the wire.
+type VariantWire struct {
+	Label string   `json:"label"`
+	Cost  CostWire `json:"cost"`
+
+	OnChip  []BindingWire `json:"onchip,omitempty"`
+	OffChip []BindingWire `json:"offchip,omitempty"`
+
+	// Budget accounting from the storage-cycle-budget distribution: the
+	// offered budget, the cycles the memory organization actually needs, and
+	// the cycles left over for data-path scheduling (Table 3's quantity).
+	BudgetTotal uint64 `json:"budget_total"`
+	BudgetUsed  uint64 `json:"budget_used"`
+	ExtraCycles uint64 `json:"extra_cycles"`
+
+	// Optimal is the assignment's proven-optimality flag; Degraded reports
+	// that a deadline or cancellation cut the budget exploration short. A
+	// serving deadline that expires mid-run yields Optimal=false and/or
+	// Degraded=true rather than an error.
+	Optimal  bool `json:"optimal"`
+	Degraded bool `json:"degraded"`
+}
+
+// Wire converts a Variant for JSON serving. Nil-safe on a nil Variant.
+func (v *Variant) Wire() *VariantWire {
+	if v == nil {
+		return nil
+	}
+	w := &VariantWire{Label: v.Label, Cost: costWire(v.Cost)}
+	if v.Asgn != nil {
+		w.OnChip = bindingWires(v.Asgn.OnChip)
+		w.OffChip = bindingWires(v.Asgn.OffChip)
+		w.Optimal = v.Asgn.Optimal
+	}
+	if v.Dist != nil {
+		w.BudgetTotal = v.Dist.TotalBudget
+		w.BudgetUsed = v.Dist.Used
+		w.ExtraCycles = v.Dist.ExtraCycles()
+		w.Degraded = v.Dist.Degraded
+	}
+	return w
+}
+
+// ResultsWire is a full methodology run on the wire: the rendered tables
+// and figures exactly as cmd/dtse prints them, the per-step decisions, and
+// the final organization in structured form.
+type ResultsWire struct {
+	Spec        string `json:"spec"`
+	CycleBudget uint64 `json:"cycle_budget"`
+
+	// Tables and Figures hold the rendered artifacts keyed "table1".."table4"
+	// and "figure1".."figure3", byte-identical to the cmd/dtse output.
+	Tables  map[string]string `json:"tables"`
+	Figures map[string]string `json:"figures"`
+
+	// Decisions taken at each methodology step (the labels the tables mark).
+	Structuring string `json:"structuring"`
+	Hierarchy   string `json:"hierarchy"`
+	ExtraCycles uint64 `json:"extra_cycles"`
+	Allocation  string `json:"allocation"`
+
+	Final *VariantWire `json:"final"`
+}
+
+// Wire converts a Results for JSON serving. Table rendering is strict: an
+// arity bug in table assembly surfaces as an error here instead of shipping
+// a silently misaligned artifact.
+func (r *Results) Wire() (*ResultsWire, error) {
+	w := &ResultsWire{
+		Spec:        r.Demo.Spec.Name,
+		CycleBudget: r.Demo.CycleBudget,
+		Tables:      make(map[string]string, 4),
+		Figures: map[string]string{
+			"figure1": r.Figure1(),
+			"figure2": r.Figure2(),
+			"figure3": r.Figure3(),
+		},
+		Structuring: r.StructChoice.Label,
+		Hierarchy:   r.HierChoice.Label,
+		ExtraCycles: r.BudgetChoice.Extra,
+		Allocation:  r.AllocChoice.Label,
+		Final:       r.Final.Wire(),
+	}
+	for name, t := range map[string]*report.Table{
+		"table1": r.Table1(),
+		"table2": r.Table2(),
+		"table3": r.Table3(),
+		"table4": r.Table4(),
+	} {
+		s, err := t.RenderStrict()
+		if err != nil {
+			return nil, err
+		}
+		w.Tables[name] = s
+	}
+	return w, nil
+}

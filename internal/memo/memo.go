@@ -47,6 +47,12 @@ const (
 	PrunedPatterns
 	// Ports caches sbd.RequiredPorts results keyed by the pattern multiset.
 	Ports
+	// Requests caches whole serving-path responses (rendered tables and
+	// figures, cost JSON) keyed by the canonical request body, so identical
+	// concurrent requests singleflight through one exploration and identical
+	// later requests are answered from the session. Only responses whose
+	// exploration ran to completion (context never canceled) may be stored.
+	Requests
 
 	numSpaces
 )
@@ -62,6 +68,8 @@ func (s Space) String() string {
 		return "pruned_patterns"
 	case Ports:
 		return "ports"
+	case Requests:
+		return "requests"
 	default:
 		return fmt.Sprintf("space%d", int(s))
 	}

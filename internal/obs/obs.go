@@ -127,6 +127,42 @@ func (o *Observer) Counters() map[string]int64 {
 	return out
 }
 
+// Snapshot is a point-in-time copy of a telemetry session's metric state,
+// with counters and gauges kept apart (they share one name namespace in
+// Counters, which loses the distinction a metrics endpoint wants to keep).
+// The maps marshal directly to JSON; Go's encoder emits object keys sorted,
+// so serialized snapshots are stable for diffing and goldens.
+type Snapshot struct {
+	UptimeUS int64            `json:"uptime_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Snapshot returns the current metric state. Safe on a nil Observer (zero
+// snapshot) and safe to call concurrently with running spans and counter
+// updates — values are read atomically under the registry lock, so the
+// snapshot is internally consistent per metric (not across metrics, which
+// would require stopping the world).
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := Snapshot{
+		UptimeUS: time.Since(o.epoch).Microseconds(),
+		Counters: make(map[string]int64, len(o.counters)),
+		Gauges:   make(map[string]int64, len(o.gauges)),
+	}
+	for n, c := range o.counters {
+		s.Counters[n] = c.v.Load()
+	}
+	for n, g := range o.gauges {
+		s.Gauges[n] = g.v.Load()
+	}
+	return s
+}
+
 // Flush pushes the final counter snapshot to every sink (the JSONL sink
 // writes it as a trailing "counters" record). Call once, after the run.
 func (o *Observer) Flush() error {

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/assign"
 	"repro/internal/reuse"
@@ -17,14 +18,37 @@ type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+
+	err error // first arity mismatch seen by AddRow
 }
 
-// AddRow appends one row; it must match the header width.
+// AddRow appends one row. A row that does not match the header width is
+// still appended (Render pads or widens), but the mismatch is recorded and
+// reported by Err — library code must not panic in a serving path, and the
+// render itself stays total.
 func (t *Table) AddRow(cells ...string) {
-	if len(t.Headers) > 0 && len(cells) != len(t.Headers) {
-		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	if t.err == nil && len(t.Headers) > 0 && len(cells) != len(t.Headers) {
+		t.err = fmt.Errorf("report: row %d has %d cells, table has %d columns",
+			len(t.Rows), len(cells), len(t.Headers))
 	}
 	t.Rows = append(t.Rows, cells)
+}
+
+// Err returns the first arity mismatch recorded by AddRow, or nil when every
+// row matched the header width.
+func (t *Table) Err() error { return t.err }
+
+// cellWidth measures a cell in runes, not bytes: unit strings like "µJ" or
+// "mm²" are multi-byte but single-column, and byte-measured widths misalign
+// every row below them.
+func cellWidth(c string) int { return utf8.RuneCountInString(c) }
+
+// pad writes c left-aligned in a field of the given rune width.
+func pad(b *strings.Builder, c string, width int) {
+	b.WriteString(c)
+	for n := cellWidth(c); n < width; n++ {
+		b.WriteByte(' ')
+	}
 }
 
 // Render returns the formatted table.
@@ -38,8 +62,8 @@ func (t *Table) Render() string {
 	widths := make([]int, cols)
 	measure := func(cells []string) {
 		for i, c := range cells {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := cellWidth(c); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -60,7 +84,7 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			pad(&b, c, widths[i])
 		}
 		b.WriteString("\n")
 	}
@@ -76,6 +100,15 @@ func (t *Table) Render() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// RenderStrict is Render for serving paths: it fails instead of quietly
+// rendering a malformed table when any row mismatched the header width.
+func (t *Table) RenderStrict() (string, error) {
+	if t.err != nil {
+		return "", t.err
+	}
+	return t.Render(), nil
 }
 
 // CostRow formats the paper's three cost columns for one variant.

@@ -24,14 +24,67 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
-func TestTableRowWidthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestTableRowWidthMismatchIsError(t *testing.T) {
 	tb := &Table{Headers: []string{"a", "b"}}
 	tb.AddRow("only one")
+	if tb.Err() == nil {
+		t.Fatal("arity mismatch not recorded")
+	}
+	// The render path must stay total: no panic, short row padded.
+	out := tb.Render()
+	if !strings.Contains(out, "only one") {
+		t.Fatalf("mismatched row dropped from render:\n%s", out)
+	}
+	if _, err := tb.RenderStrict(); err == nil {
+		t.Fatal("RenderStrict ignored the recorded mismatch")
+	}
+	ok := &Table{Headers: []string{"a", "b"}}
+	ok.AddRow("x", "y")
+	if ok.Err() != nil {
+		t.Fatalf("well-formed table reports error: %v", ok.Err())
+	}
+	if _, err := ok.RenderStrict(); err != nil {
+		t.Fatalf("RenderStrict on well-formed table: %v", err)
+	}
+}
+
+// TestTableRuneWidths: multi-byte unit strings (µJ, mm²) are single-column
+// characters; width math in bytes misaligns every row below them.
+func TestTableRuneWidths(t *testing.T) {
+	tb := &Table{
+		Headers: []string{"Version", "energy [µJ]", "area [mm²]"},
+	}
+	tb.AddRow("baseline", "aaaaaaaaaaa", "bbbbbbbbbb")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header+separator+row, got %d lines:\n%s", len(lines), out)
+	}
+	header, row := lines[0], lines[2]
+	// The data cells are exactly as wide as the headers, so with rune-correct
+	// widths the columns start at the same visual offset in both lines.
+	hcols := []int{
+		strings.Index(header, "energy"),
+		strings.Index(header, "area"),
+	}
+	rcols := []int{
+		strings.Index(row, "aaaaaaaaaaa"),
+		strings.Index(row, "bbbbbbbbbb"),
+	}
+	// Compare offsets in runes, the visual unit.
+	runeOff := func(s string, byteOff int) int { return len([]rune(s[:byteOff])) }
+	for i := range hcols {
+		ho, ro := runeOff(header, hcols[i]), runeOff(row, rcols[i])
+		if ho != ro {
+			t.Fatalf("column %d misaligned: header rune-offset %d, row rune-offset %d\n%s", i, ho, ro, out)
+		}
+	}
+	// The separator spans the rune width of the table, not its byte width.
+	sep := lines[1]
+	wantSep := len([]rune(header))
+	if len(sep) != wantSep {
+		t.Fatalf("separator %d chars, want %d (rune width of header line)\n%s", len(sep), wantSep, out)
+	}
 }
 
 func TestTableNoHeaders(t *testing.T) {

@@ -2,8 +2,11 @@ package sbd
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/memo"
 )
 
 // TestDistributeContextCanceled: an already-canceled context must still
@@ -65,6 +68,78 @@ func TestDistributeContextIsFast(t *testing.T) {
 	}
 	if el := time.Since(start); el > 100*time.Millisecond {
 		t.Fatalf("canceled Distribute took %v, want < 100ms", el)
+	}
+}
+
+// TestDegradedScheduleDoesNotPoisonSession: a deadline-degraded
+// distribution computed on a shared session cache must not leak its
+// best-effort schedules into the cache — a later full-budget distribution
+// on the same session must match a fresh, uncached one exactly.
+func TestDegradedScheduleDoesNotPoisonSession(t *testing.T) {
+	s := fanInSpec(t, 5, 10, 1000)
+	session := memo.New()
+
+	// 1. Tight-deadline exploration on the shared session (context already
+	// expired: every committed schedule skips its improvement passes).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	degraded, err := DistributeContext(ctx, s, 40_000, Params{Memo: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Degraded {
+		t.Fatal("tight-deadline distribution not flagged Degraded")
+	}
+	anyCut := false
+	for _, ls := range degraded.Loops {
+		anyCut = anyCut || ls.Degraded
+	}
+	if !anyCut {
+		t.Fatal("no committed schedule carries the Degraded flag under a dead context")
+	}
+
+	// 2. Full-budget exploration on the SAME session.
+	warm, err := Distribute(s, 40_000, Params{Memo: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Reference: the same exploration with no cache at all.
+	plain, err := Distribute(s, 40_000, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm.Degraded {
+		t.Fatal("full-budget run flagged Degraded")
+	}
+	if warm.Used != plain.Used || warm.Cost != plain.Cost {
+		t.Fatalf("session poisoned: warm used=%d cost=%.1f, plain used=%d cost=%.1f",
+			warm.Used, warm.Cost, plain.Used, plain.Cost)
+	}
+	if !reflect.DeepEqual(warm.Patterns, plain.Patterns) {
+		t.Fatalf("session poisoned: patterns differ\nwarm:  %v\nplain: %v", warm.Patterns, plain.Patterns)
+	}
+	for i := range warm.Loops {
+		w, p := warm.Loops[i], plain.Loops[i]
+		if w.Budget != p.Budget || w.Cost != p.Cost || !reflect.DeepEqual(w.Start, p.Start) || w.Degraded {
+			t.Fatalf("session poisoned: loop %d schedule differs (or is degraded): warm %+v plain %+v", i, w, p)
+		}
+	}
+}
+
+// TestDegradedScheduleNotStored: the schedule keyspace must record no entry
+// for a curve point computed under an expired context.
+func TestDegradedScheduleNotStored(t *testing.T) {
+	s := fanInSpec(t, 3, 6, 500)
+	session := memo.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DistributeContext(ctx, s, 20_000, Params{Memo: session}); err != nil {
+		t.Fatal(err)
+	}
+	if st := session.Stats(memo.Schedule); st.Entries != 0 {
+		t.Fatalf("degraded run left %d schedule entries in the session cache", st.Entries)
 	}
 }
 

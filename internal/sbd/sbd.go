@@ -227,6 +227,13 @@ type LoopSchedule struct {
 	WeightedCost   float64
 	StructuralCost float64
 	Cost           float64
+	// Degraded is true when cancellation stopped the improvement passes
+	// before they converged (or before their pass budget ran out): the
+	// schedule is complete and feasible but possibly costlier than the one a
+	// full run finds. A degraded schedule must never enter the cross-variant
+	// session cache — a later full-budget run sharing the session would be
+	// poisoned by it.
+	Degraded bool
 }
 
 // groupsOf indexes the spec's groups by name.
@@ -649,7 +656,14 @@ func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spe
 		}
 	}
 	passes, moves := 0, 0
-	for pass := 0; pass < p.Passes && !canceled(); pass++ {
+	degraded := false
+	for pass := 0; pass < p.Passes; pass++ {
+		if canceled() {
+			// Stopped before convergence (or before the pass budget ran out
+			// deterministically): the schedule is valid but best-effort.
+			degraded = true
+			break
+		}
 		passes++
 		improved := false
 		for id := range l.Accesses {
@@ -689,6 +703,7 @@ func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spe
 		WeightedCost:   weighted,
 		StructuralCost: structural,
 		Cost:           weighted + structural,
+		Degraded:       degraded,
 	}, nil
 }
 
@@ -1001,12 +1016,14 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 	}
 	degraded := false
 	// balance resolves one curve point, through the session cache when one
-	// is attached. A result computed under a live context is deterministic
-	// and cached; one degraded by cancellation (improvement passes cut
-	// short) is returned but not cached, so later callers with a live
-	// context redo it properly. Deterministic infeasibility errors are
-	// cached too. Concurrent sweep points requesting the same curve share
-	// one computation (singleflight).
+	// is attached. A fully converged result is deterministic and cached; one
+	// degraded by cancellation (improvement passes cut short, reported by
+	// the schedule's own Degraded flag) is returned but not cached, so later
+	// callers with a live context redo it properly — a degraded schedule
+	// entering the session cache would poison every later full-budget run
+	// sharing the session. Deterministic infeasibility errors are cached
+	// too. Concurrent sweep points requesting the same curve share one
+	// computation (singleflight).
 	type schedResult struct {
 		sc  *LoopSchedule
 		err error
@@ -1017,7 +1034,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		}
 		r := p.Memo.Do(memo.Schedule, cv.fp+"#"+strconv.Itoa(b), func() (any, bool) {
 			sc, err := BalanceLoopContext(ctx, cv.loop, groups, b, p)
-			return schedResult{sc, err}, err != nil || ctx.Err() == nil
+			return schedResult{sc, err}, err != nil || !sc.Degraded
 		}).(schedResult)
 		return r.sc, r.err
 	}
@@ -1081,13 +1098,21 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		curves[best].chosen = bestJ
 	}
 
-	d := &Distribution{TotalBudget: totalBudget, Degraded: degraded}
+	// A committed schedule that was itself cut short degrades the whole
+	// distribution, even when every curve point and budget move ran: a
+	// single-point curve under a dead context commits its (best-effort)
+	// minimum schedule without tripping the sweep-level checks above.
+	d := &Distribution{TotalBudget: totalBudget}
 	for _, cv := range curves {
 		sc := cv.scheds[cv.chosen]
+		if sc.Degraded {
+			degraded = true
+		}
 		d.Loops = append(d.Loops, sc)
 		d.Used += uint64(sc.Budget) * cv.loop.Iterations
 		d.Cost += sc.Cost
 	}
+	d.Degraded = degraded
 	d.Patterns = PatternsOf(s, d.Loops, p)
 	if sp != nil {
 		points := 0

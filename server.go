@@ -1,0 +1,606 @@
+package dtse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/spec"
+)
+
+// Serving: exploration as a long-running service. A Server owns one
+// exploration session — a shared cross-variant evaluation cache, a shared
+// bounded worker pool, and a shared telemetry observer — and answers
+// POST /v1/explore requests against it, so repeated and concurrent
+// explorations of the same design points are paid for once.
+//
+// Endpoints:
+//
+//	POST /v1/explore  run the physical memory management stage on a spec
+//	                  (or the full BTPC methodology in demo mode)
+//	GET  /healthz     liveness ("ok", or 503 while draining)
+//	GET  /metrics     JSON snapshot of counters, gauges, and latencies
+//
+// Every response carries an X-Trace-Id header naming the request's root
+// span in the telemetry stream. Response bodies are deterministic functions
+// of the request body alone, so identical requests are deduplicated through
+// the session cache: concurrent duplicates singleflight one exploration,
+// later duplicates are answered from memory. A response computed under an
+// expired deadline (degraded, best-effort) is never cached.
+
+// ServeOptions configures a Server. The zero value is usable: GOMAXPROCS
+// concurrent explorations, a queue twice that deep, no default deadline.
+type ServeOptions struct {
+	// MaxConcurrent bounds the explorations running at once; further
+	// requests queue. <= 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the requests waiting for an exploration slot; beyond
+	// it the server answers 429 with a Retry-After hint. <= 0 means
+	// 2 x MaxConcurrent.
+	MaxQueue int
+	// DefaultTimeout is the per-request exploration deadline applied when
+	// the request does not set timeout_ms. 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (and, when set, also the
+	// no-deadline case). 0 means no cap.
+	MaxTimeout time.Duration
+	// Workers is the width of the session's shared worker pool. <= 0 means
+	// GOMAXPROCS. Results are identical at any width.
+	Workers int
+	// Obs is the telemetry session shared by all requests; nil disables
+	// instrumentation (the /metrics endpoint then reports only server
+	// gauges).
+	Obs *obs.Observer
+	// NoCache disables the session cache: every request recomputes.
+	// Responses are byte-identical either way.
+	NoCache bool
+}
+
+// Server is a shared exploration session behind an HTTP API. Create with
+// NewServer, mount Handler on an http.Server, and use BeginDrain/Abort for
+// graceful shutdown (see cmd/dtsed for the full wiring).
+type Server struct {
+	opts    ServeOptions
+	obs     *obs.Observer
+	memo    *memo.Cache
+	workers *pool.Pool
+	mux     *http.ServeMux
+
+	// baseCtx parents every request context; Abort cancels it, degrading
+	// all in-flight explorations to their anytime best-effort results.
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	sem      chan struct{} // exploration slots (MaxConcurrent)
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	requests  atomic.Int64
+	responses [6]atomic.Int64 // by status class 0xx..5xx
+	nextTrace atomic.Uint64
+	runID     string
+
+	lat latencyRing
+}
+
+// NewServer builds a Server with its session state. The caller owns opts.Obs
+// and its sinks (flush/close them after shutdown).
+func NewServer(opts ServeOptions) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 2 * opts.MaxConcurrent
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		obs:     opts.Obs,
+		workers: pool.New(opts.Workers),
+		baseCtx: ctx,
+		abort:   cancel,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		runID:   fmt.Sprintf("%x", time.Now().UnixNano()),
+	}
+	if !opts.NoCache {
+		s.memo = memo.New()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/explore", s.handleExplore)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the Server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain marks the server draining: /healthz turns 503 (so load
+// balancers stop routing here) and new explorations are refused, while
+// in-flight explorations run to completion. Pair with http.Server.Shutdown,
+// which waits for them.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Abort cancels every in-flight exploration's context. The explorations
+// degrade to their anytime best-effort results and the handlers still
+// return complete responses — this is the drain-deadline escalation, not a
+// hard kill.
+func (s *Server) Abort() { s.abort() }
+
+// Inflight reports the explorations currently running or queued.
+func (s *Server) Inflight() int64 { return s.inflight.Load() + s.queued.Load() }
+
+// --- request wire format ---
+
+// exploreRequest is the POST /v1/explore body. Exactly one of spec (with
+// budget) or demo must be set.
+type exploreRequest struct {
+	// Spec is a pruned application specification in the internal/spec JSON
+	// format; Budget is its storage cycle budget per frame (required with
+	// Spec).
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Budget uint64          `json:"budget,omitempty"`
+
+	// Demo selects the built-in BTPC methodology run instead; the response
+	// then carries the regenerated tables and figures.
+	Demo *demoRequest `json:"demo,omitempty"`
+
+	// TimeoutMS bounds this exploration; on expiry the response degrades to
+	// best-effort (optimal=false / degraded=true) instead of erroring. 0
+	// uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Params are the spec-mode tool knobs (ignored in demo mode, which uses
+	// the calibrated defaults so its output matches cmd/dtse exactly).
+	Params *paramsRequest `json:"params,omitempty"`
+}
+
+type demoRequest struct {
+	Size  int    `json:"size,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Quant int    `json:"quant,omitempty"`
+}
+
+// paramsRequest mirrors the cmd/specexplore flags.
+type paramsRequest struct {
+	OnChip       int     `json:"onchip,omitempty"`
+	Threshold    *int64  `json:"threshold,omitempty"`
+	Frame        float64 `json:"frame,omitempty"`
+	InPlace      bool    `json:"inplace,omitempty"`
+	Interconnect bool    `json:"interconnect,omitempty"`
+}
+
+// exploreResponse is the POST /v1/explore success body: variant for spec
+// mode, results for demo mode.
+type exploreResponse struct {
+	Variant *core.VariantWire `json:"variant,omitempty"`
+	Results *core.ResultsWire `json:"results,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parsedRequest is a validated explore request with its spec decoded and
+// its deduplication key derived.
+type parsedRequest struct {
+	req  *exploreRequest
+	spec *spec.Spec // spec mode only
+	key  string     // canonical dedup key (deadline excluded)
+}
+
+const maxRequestBody = 8 << 20
+
+// parseExplore decodes and validates the request body. Error strings are
+// client-facing.
+func parseExplore(body io.Reader) (*parsedRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	req := &exploreRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("invalid request body: trailing data after the JSON object")
+	}
+	if (req.Spec == nil) == (req.Demo == nil) {
+		return nil, fmt.Errorf("exactly one of spec or demo must be set")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms %d out of range (must be >= 0)", req.TimeoutMS)
+	}
+	p := &parsedRequest{req: req}
+	if req.Demo != nil {
+		d := req.Demo
+		if req.Budget != 0 || req.Params != nil {
+			return nil, fmt.Errorf("budget and params apply to spec mode only")
+		}
+		if d.Size < 0 || d.Size > 4096 {
+			return nil, fmt.Errorf("demo.size %d out of range [0, 4096]", d.Size)
+		}
+		if d.Quant < 0 {
+			return nil, fmt.Errorf("demo.quant %d out of range (must be >= 0)", d.Quant)
+		}
+		p.key = fmt.Sprintf("demo|%d|%d|%d", d.Size, d.Seed, d.Quant)
+		return p, nil
+	}
+	if req.Budget == 0 {
+		return nil, fmt.Errorf("budget is required with spec")
+	}
+	sp, err := spec.ReadJSON(bytes.NewReader(req.Spec))
+	if err != nil {
+		return nil, fmt.Errorf("invalid spec: %v", err)
+	}
+	p.spec = sp
+	onchip, threshold, frame, inplace, interconnect, err := specParams(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	// The key pins every input that shapes the response — the spec in its
+	// canonical serialization (request-side whitespace and field order must
+	// not defeat deduplication), the budget, and the tool knobs. The
+	// deadline is deliberately excluded: only completed explorations are
+	// cached, and a completed result is valid under any deadline.
+	var canon bytes.Buffer
+	if err := sp.WriteJSON(&canon); err != nil {
+		return nil, fmt.Errorf("invalid spec: %v", err)
+	}
+	p.key = fmt.Sprintf("spec|%d|%d|%d|%g|%t|%t|%s",
+		req.Budget, onchip, threshold, frame, inplace, interconnect, canon.String())
+	return p, nil
+}
+
+// specParams resolves the spec-mode knobs to their cmd/specexplore
+// defaults and validates them.
+func specParams(pr *paramsRequest) (onchip int, threshold int64, frame float64, inplace, interconnect bool, err error) {
+	onchip, threshold, frame = 4, 64*1024, 1.0
+	if pr == nil {
+		return
+	}
+	if pr.OnChip != 0 {
+		onchip = pr.OnChip
+	}
+	if pr.Threshold != nil {
+		threshold = *pr.Threshold
+	}
+	if pr.Frame != 0 {
+		frame = pr.Frame
+	}
+	inplace, interconnect = pr.InPlace, pr.Interconnect
+	switch {
+	case onchip < 1:
+		err = fmt.Errorf("params.onchip %d out of range (must be >= 1)", onchip)
+	case threshold < 0:
+		err = fmt.Errorf("params.threshold %d out of range (must be >= 0)", threshold)
+	case frame <= 0:
+		err = fmt.Errorf("params.frame %g out of range (must be > 0)", frame)
+	}
+	return
+}
+
+// --- handlers ---
+
+// servedResponse is the cached unit of the Requests keyspace: the exact
+// status and body bytes of one deterministic response.
+type servedResponse struct {
+	status int
+	body   []byte
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	tid := fmt.Sprintf("%s-%06d", s.runID, s.nextTrace.Add(1))
+	w.Header().Set("X-Trace-Id", tid)
+	s.requests.Add(1)
+	s.obs.Counter("server.requests").Add(1)
+	start := time.Now()
+	defer func() { s.lat.record(time.Since(start).Microseconds()) }()
+
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	p, err := parseExplore(r.Body)
+	if err != nil {
+		s.obs.Counter("server.bad_requests").Add(1)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The exploration context: canceled by client disconnect, by Abort, and
+	// by the effective per-request deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if d := s.effectiveTimeout(p.req.TimeoutMS); d > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, d)
+		defer tcancel()
+	}
+
+	release, ok := s.admit(ctx)
+	if !ok {
+		s.obs.Counter("server.rejected_overload").Add(1)
+		// The hint assumes the queue drains one slot per default-deadline
+		// interval; without a default deadline, suggest a flat second.
+		retry := s.opts.DefaultTimeout
+		if retry <= 0 {
+			retry = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
+		s.writeError(w, http.StatusTooManyRequests, "exploration queue is full")
+		return
+	}
+	defer release()
+
+	sp := s.obs.Start("serve.explore")
+	sp.SetStr("trace_id", tid)
+	resp := s.dedup(ctx, p, sp)
+	sp.SetInt("status", int64(resp.status))
+	sp.End()
+	s.writeResponse(w, resp)
+}
+
+// dedup answers the request through the Requests keyspace: identical
+// in-flight requests share one exploration, identical later requests are
+// answered from the session. A compute cut short by its deadline (or by
+// Abort) publishes uncacheable, so it is returned only to the request that
+// ran it — concurrent duplicates with live deadlines take over and
+// recompute rather than inherit a degraded response.
+func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span) *servedResponse {
+	hit := true
+	v := s.memo.Do(memo.Requests, p.key, func() (any, bool) {
+		hit = false
+		resp := s.explore(ctx, p, sp)
+		cacheable := resp.status == http.StatusOK && ctx.Err() == nil
+		return resp, cacheable
+	})
+	if hit {
+		s.obs.Counter("server.dedup_hits").Add(1)
+		sp.SetStr("dedup", "hit")
+	}
+	return v.(*servedResponse)
+}
+
+// explore runs the exploration and serializes the response. The body is a
+// deterministic function of the parsed request (trace IDs and timing live
+// in headers and telemetry only), which is what makes caching sound.
+func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span) *servedResponse {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.obs.Gauge("server.inflight").Set(s.inflight.Load())
+
+	ep := core.DefaultEvalParams()
+	ep.Obs = s.obs
+	ep.Span = sp
+	ep.Memo = s.memo
+	ep.Workers = s.workers
+
+	env := &exploreResponse{}
+	if p.req.Demo != nil {
+		d := p.req.Demo
+		res, err := core.RunAllContext(ctx, core.DemoConfig{Size: d.Size, Seed: d.Seed, Quant: d.Quant}, ep)
+		if err != nil {
+			return errResponse(http.StatusUnprocessableEntity, err)
+		}
+		wire, err := res.Wire()
+		if err != nil {
+			return errResponse(http.StatusInternalServerError, err)
+		}
+		env.Results = wire
+	} else {
+		onchip, threshold, frame, inplace, interconnect, _ := specParams(p.req.Params)
+		tech := *ep.Tech
+		tech.OnChipMaxWords = threshold
+		tech.FramePeriod = frame
+		if interconnect {
+			tech.Bus = tech.WithInterconnect().Bus
+		}
+		ep.Tech = &tech
+		ep.SBD.OnChipMaxWords = threshold
+		ep.Assign.OnChipMaxWords = threshold
+		ep.Assign.InPlace = inplace
+		ep.OnChipCount = onchip
+		v, err := core.EvaluateContext(ctx, p.spec, p.req.Budget, p.spec.Name, ep)
+		if err != nil {
+			return errResponse(http.StatusUnprocessableEntity, err)
+		}
+		env.Variant = v.Wire()
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return errResponse(http.StatusInternalServerError, err)
+	}
+	return &servedResponse{status: http.StatusOK, body: append(body, '\n')}
+}
+
+func errResponse(status int, err error) *servedResponse {
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	return &servedResponse{status: status, body: append(body, '\n')}
+}
+
+// effectiveTimeout resolves the request deadline: the request's own when
+// set, else the server default — both clamped by MaxTimeout.
+func (s *Server) effectiveTimeout(requestMS int64) time.Duration {
+	d := s.opts.DefaultTimeout
+	if requestMS > 0 {
+		d = time.Duration(requestMS) * time.Millisecond
+	}
+	if s.opts.MaxTimeout > 0 && (d <= 0 || d > s.opts.MaxTimeout) {
+		d = s.opts.MaxTimeout
+	}
+	return d
+}
+
+// admit acquires an exploration slot, queueing up to MaxQueue requests.
+// It fails (→ 429) when the queue is full, or when ctx dies while queued.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	s.obs.Counter("server.queued").Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+func (s *Server) writeResponse(w http.ResponseWriter, resp *servedResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+	s.countStatus(resp.status)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeResponse(w, &servedResponse{
+		status: status,
+		body:   append(mustMarshal(errorResponse{Error: msg}), '\n'),
+	})
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // marshaling our own plain structs cannot fail
+	}
+	return b
+}
+
+func (s *Server) countStatus(status int) {
+	if c := status / 100; c >= 0 && c < len(s.responses) {
+		s.responses[c].Add(1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// metricsResponse is the GET /metrics body: the server's own gauges and
+// latency percentiles, the telemetry counter/gauge snapshot, and the
+// session cache accounting.
+type metricsResponse struct {
+	Server serverMetrics         `json:"server"`
+	Obs    obs.Snapshot          `json:"obs"`
+	Memo   map[string]memo.Stats `json:"memo,omitempty"`
+}
+
+type serverMetrics struct {
+	Inflight     int64 `json:"inflight"`
+	Queued       int64 `json:"queued"`
+	Requests     int64 `json:"requests_total"`
+	OK           int64 `json:"responses_2xx"`
+	ClientErrors int64 `json:"responses_4xx"`
+	ServerErrors int64 `json:"responses_5xx"`
+	LatencyCount int64 `json:"latency_count"`
+	LatencyP50US int64 `json:"latency_p50_us"`
+	LatencyP99US int64 `json:"latency_p99_us"`
+	Draining     bool  `json:"draining"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n, p50, p99 := s.lat.percentiles()
+	m := metricsResponse{
+		Server: serverMetrics{
+			Inflight:     s.inflight.Load(),
+			Queued:       s.queued.Load(),
+			Requests:     s.requests.Load(),
+			OK:           s.responses[2].Load(),
+			ClientErrors: s.responses[4].Load(),
+			ServerErrors: s.responses[5].Load(),
+			LatencyCount: n,
+			LatencyP50US: p50,
+			LatencyP99US: p99,
+			Draining:     s.draining.Load(),
+		},
+		Obs: s.obs.Snapshot(),
+	}
+	if s.memo != nil {
+		m.Memo = make(map[string]memo.Stats)
+		for _, sp := range []memo.Space{memo.Schedule, memo.LoopPatterns, memo.PrunedPatterns, memo.Ports, memo.Requests} {
+			m.Memo[sp.String()] = s.memo.Stats(sp)
+		}
+	}
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// latencyRing keeps the last latencySamples request latencies for the
+// /metrics percentiles — a bounded window, so a long-running daemon reports
+// recent behaviour rather than its lifetime average.
+const latencySamples = 1024
+
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencySamples]int64
+	n   atomic.Int64
+}
+
+func (l *latencyRing) record(us int64) {
+	i := l.n.Add(1) - 1
+	l.mu.Lock()
+	l.buf[i%latencySamples] = us
+	l.mu.Unlock()
+}
+
+// percentiles returns the sample count and the p50/p99 of the current
+// window (zeros when empty).
+func (l *latencyRing) percentiles() (n, p50, p99 int64) {
+	n = l.n.Load()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	k := n
+	if k > latencySamples {
+		k = latencySamples
+	}
+	window := make([]int64, k)
+	l.mu.Lock()
+	copy(window, l.buf[:k])
+	l.mu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := func(p float64) int64 {
+		i := int(p * float64(k-1))
+		return window[i]
+	}
+	return n, idx(0.50), idx(0.99)
+}
