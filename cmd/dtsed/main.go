@@ -7,14 +7,23 @@
 //
 //	dtsed [-addr 127.0.0.1:8321] [-concurrency N] [-queue N]
 //	      [-timeout 0] [-max-timeout 0] [-workers N] [-drain 5s]
-//	      [-trace out.jsonl] [-cache on|off]
+//	      [-trace out.jsonl] [-cache on|off] [-flight N] [-slow 0]
 //
 // Endpoints:
 //
 //	POST /v1/explore  {"spec": {...}, "budget": N, "timeout_ms": N,
-//	                   "params": {...}}  or  {"demo": {"size": N, ...}}
+//	                   "params": {...}}  or  {"demo": {"size": N, ...}};
+//	                  with Accept: text/event-stream the exploration is
+//	                  streamed as SSE progress events (GET with ?request=
+//	                  serves EventSource clients)
 //	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     JSON counters, gauges, cache stats, latency p50/p99
+//	GET  /metrics     Prometheus text exposition (request/stage latency
+//	                  histograms, counters, per-keyspace cache stats);
+//	                  JSON with Accept: application/json
+//	GET  /metrics.json          the JSON metrics snapshot
+//	GET  /debug/explorations    in-flight requests: stage, nodes, bound gap
+//	GET  /debug/flightrecorder  last -flight slow/degraded/errored requests
+//	                  with their span trees and counter deltas
 //
 // Explorations are anytime: a request whose deadline (-timeout, or its own
 // timeout_ms) expires gets its best-effort organization, flagged
@@ -64,6 +73,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight explorations are degraded")
 	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
 	cache := fs.String("cache", "on", "session cache: on or off (responses are identical either way)")
+	flight := fs.Int("flight", 64, "flight-recorder capacity: last N slow/degraded/errored requests (-1 disables)")
+	slow := fs.Duration("slow", 0, "flight-record healthy requests at least this slow (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,7 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if *timeout < 0 || *maxTimeout < 0 || *drain < 0 || *queue < 0 {
+	if *timeout < 0 || *maxTimeout < 0 || *drain < 0 || *queue < 0 || *slow < 0 {
 		fmt.Fprintln(stderr, "dtsed: durations and -queue must be >= 0")
 		fs.Usage()
 		return 2
@@ -104,6 +115,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:        *workers,
 		Obs:            observer,
 		NoCache:        *cache == "off",
+		FlightRecorder: *flight,
+		SlowRequest:    *slow,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -97,6 +97,7 @@ func TestRunBadFlags(t *testing.T) {
 		{"-timeout", "-1s"},
 		{"-drain", "-1s"},
 		{"-queue", "-1"},
+		{"-slow", "-1s"},
 		{"-nonsense"},
 	}
 	for _, args := range cases {
@@ -178,7 +179,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Metrics reflect the traffic so far.
-	resp, err = http.Get(url + "/metrics")
+	resp, err = http.Get(url + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +197,82 @@ func TestDaemonEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if m.Server.Requests < 3 || m.Server.LatencyCount < 3 || m.Server.LatencyP99US < m.Server.LatencyP50US {
 		t.Fatalf("metrics wrong: %+v", m.Server)
+	}
+
+	// The default /metrics view is the Prometheus text exposition, covering
+	// the request-latency and per-stage histograms.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE dtse_request_duration_seconds histogram",
+		"dtse_request_duration_seconds_count",
+		"dtse_stage_duration_seconds_bucket",
+		"dtse_http_requests_total",
+		"dtse_memo_hits_total",
+	} {
+		if !strings.Contains(string(promText), want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, promText)
+		}
+	}
+
+	// The 1ms-deadline request degraded, so the flight recorder holds it,
+	// span tree and all — a degraded request is reconstructable after the
+	// fact.
+	resp, err = http.Get(url + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flights struct {
+		Capacity int   `json:"capacity"`
+		Recorded int64 `json:"recorded_total"`
+		Entries  []struct {
+			TraceID string `json:"trace_id"`
+			Reason  string `json:"reason"`
+			Status  int    `json:"status"`
+			Mode    string `json:"mode"`
+			Search  struct {
+				Stage string `json:"stage"`
+			} `json:"search"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"entries"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flights)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flights.Capacity != 64 || flights.Recorded < 1 || len(flights.Entries) < 1 {
+		t.Fatalf("flight recorder empty after the degraded request: %+v", flights)
+	}
+	fe := flights.Entries[0]
+	if fe.Reason != "degraded" || fe.Status != http.StatusOK || fe.TraceID == "" || fe.Mode != "demo" {
+		t.Fatalf("flight entry wrong: %+v", fe)
+	}
+	if len(fe.Spans) == 0 || fe.Search.Stage == "" {
+		t.Fatalf("flight entry not reconstructable (spans=%d, stage=%q)", len(fe.Spans), fe.Search.Stage)
+	}
+
+	// The live-exploration registry answers (idle right now).
+	resp, err = http.Get(url + "/debug/explorations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var livelist struct {
+		Count int `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&livelist)
+	resp.Body.Close()
+	if err != nil || livelist.Count != 0 {
+		t.Fatalf("/debug/explorations: err=%v count=%d", err, livelist.Count)
 	}
 
 	// Overload: with -concurrency 1 -queue 1, a slow exploration plus a
@@ -264,12 +341,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
-// waitGauge polls /metrics until the named server gauge reaches want.
+// waitGauge polls /metrics.json until the named server gauge reaches want.
 func waitGauge(t *testing.T, url, name string, want int64) {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(url + "/metrics")
+		resp, err := http.Get(url + "/metrics.json")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -55,6 +55,11 @@ type Params struct {
 	// Obs is the parent telemetry span Assign attaches its span and search
 	// counters to; nil disables instrumentation at near-zero cost.
 	Obs *obs.Span
+	// Progress, when non-nil, receives live search position (nodes expanded,
+	// incumbent cost, root lower bound) for the serving layer's introspection
+	// endpoints. The search never reads it back, so results are identical
+	// with or without it.
+	Progress *obs.Progress
 	// Workers is the session's bounded worker pool. When it is wider than
 	// one worker, the branch-and-bound and the off-chip partition scan split
 	// their search trees into independent subproblems solved in parallel
@@ -336,6 +341,7 @@ func AssignContext(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, tech *
 	}
 	sp := p.Obs.Child("assign")
 	defer sp.End()
+	p.Progress.SetStage("assign")
 	onG, offG := partition(s, p)
 	sp.SetInt("count", int64(onChipCount))
 	sp.SetInt("groups_onchip", int64(len(onG)))
@@ -671,6 +677,8 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	}
 	pre := pr.bbPrecompute()
 	order, lbTail, emptyTerm := pre.order, pre.lbTail, pre.emptyTerm
+	prog := pr.p.Progress
+	prog.SetBound(lbTail[0] + float64(maxMem)*pre.emptyTerm)
 
 	mems := make([]*memState, maxMem)
 	members := make([][]int, maxMem)
@@ -688,6 +696,7 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	if gAssign, gCost, ok := greedyIncumbent(pr, maxMem, &pre); ok {
 		bestCost = gCost
 		copy(bestAssign, gAssign)
+		prog.SetIncumbent(gCost)
 	}
 
 	// Search-effort counters: plain locals inside the hot loop, emitted once
@@ -719,19 +728,23 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 			exhausted = true
 			return
 		}
-		if done != nil && nodes%cancelCheckInterval == 0 {
-			cancelChecks++
-			select {
-			case <-done:
-				stopped = true
-				return
-			default:
+		if nodes%cancelCheckInterval == 0 {
+			prog.AddNodes(cancelCheckInterval)
+			if done != nil {
+				cancelChecks++
+				select {
+				case <-done:
+					stopped = true
+					return
+				default:
+				}
 			}
 		}
 		if step == n {
 			if curCost < bestCost {
 				bestCost = curCost
 				copy(bestAssign, curAssign)
+				prog.SetIncumbent(bestCost)
 			}
 			return
 		}
@@ -776,6 +789,7 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	if !stopped {
 		dfs(0)
 	}
+	prog.AddNodes(int64(nodes % cancelCheckInterval))
 	if sp != nil {
 		sp.SetInt("nodes", int64(nodes))
 		sp.SetInt("pruned_bound", int64(prunedLB))

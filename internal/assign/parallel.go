@@ -201,6 +201,7 @@ type bbWorker struct {
 	n      int
 	budget int64
 	done   <-chan struct{}
+	prog   *obs.Progress
 
 	mems      []*memState
 	memCost   []float64
@@ -227,6 +228,7 @@ func newBBWorker(pr *problem, pre *bbPre, sh *bbShared, maxMem int, seed float64
 		pr: pr, pre: pre, sh: sh, maxMem: maxMem, n: n,
 		budget:     int64(pr.p.NodeBudget),
 		done:       done,
+		prog:       pr.p.Progress,
 		mems:       make([]*memState, maxMem),
 		memCost:    make([]float64, maxMem),
 		curAssign:  make([]int, n),
@@ -296,6 +298,7 @@ func (w *bbWorker) dfs(step, subIdx int) {
 		if w.sh.nodes.Add(w.unflushed) > w.budget {
 			w.sh.setState(exhaustedBit)
 		}
+		w.prog.AddNodes(w.unflushed)
 		w.unflushed = 0
 		if w.sh.state.Load() != 0 {
 			w.halted = true
@@ -319,6 +322,7 @@ func (w *bbWorker) dfs(step, subIdx int) {
 			w.bestSub = subIdx
 			w.found = true
 			w.sh.tighten(w.curCost)
+			w.prog.SetIncumbent(math.Float64frombits(w.sh.bound.Load()))
 		}
 		return
 	}
@@ -367,10 +371,13 @@ func (w *bbWorker) dfs(step, subIdx int) {
 // return byte-identical results to the sequential path at any worker count.
 func branchAndBoundParallel(ctx context.Context, pr *problem, maxMem int, sp *obs.Span, wp *pool.Pool) ([]Binding, float64, float64, bool, error) {
 	pre := pr.bbPrecompute()
+	prog := pr.p.Progress
+	prog.SetBound(pre.lbTail[0] + float64(maxMem)*pre.emptyTerm)
 	gAssign, gCost, gOK := greedyIncumbent(pr, maxMem, &pre)
 	seed := math.Inf(1)
 	if gOK {
 		seed = gCost
+		prog.SetIncumbent(gCost)
 	}
 
 	stopped := false
@@ -419,12 +426,14 @@ func branchAndBoundParallel(ctx context.Context, pr *problem, maxMem int, sp *ob
 		bestCost, bestAssign, bestSub = gCost, gAssign, -1
 	}
 	nodes := int64(visited)
+	prog.AddNodes(int64(visited))
 	var prunedLB, portRejects int64
 	for _, w := range workers {
 		if w == nil {
 			continue
 		}
 		nodes += w.nodes
+		prog.AddNodes(w.unflushed)
 		prunedLB += w.prunedLB
 		portRejects += w.portRejects
 		cancelChecks += w.cancelChecks

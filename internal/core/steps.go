@@ -31,6 +31,13 @@ type EvalParams struct {
 	Obs  *obs.Observer
 	Span *obs.Span
 
+	// Progress is the live-introspection side channel of this evaluation:
+	// the stages publish their position into it (current stage, search nodes,
+	// incumbent, bound) and the serving layer reads it concurrently. Strictly
+	// write-only for the pipeline, so results are identical with or without
+	// it. Nil disables it.
+	Progress *obs.Progress
+
 	// Memo is the session's cross-variant evaluation cache: loop schedules
 	// and conflict-pattern derivations are memoized by canonical
 	// fingerprints, so sweeps that re-evaluate nearly identical subproblems
@@ -65,6 +72,10 @@ func (ep EvalParams) startSpan(name string) (*obs.Span, EvalParams) {
 		sp = ep.Obs.Start(name)
 	}
 	ep.Span = sp
+	// Best-effort stage reporting: parallel sweeps publish concurrently, so
+	// introspection sees the most recent stage entered, which is what a
+	// "where is this request now" endpoint wants.
+	ep.Progress.SetStage(name)
 	return sp, ep
 }
 
@@ -142,6 +153,7 @@ func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label str
 	sbdP := ep.SBD
 	sbdP.Obs = ep.Span
 	sbdP.Memo = ep.Memo
+	sbdP.Progress = ep.Progress
 	dist, err := sbd.DistributeContext(ctx, s, budget, sbdP)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", label, err)
@@ -154,6 +166,7 @@ func EvaluateContext(ctx context.Context, s *spec.Spec, budget uint64, label str
 	asgnP := ep.Assign
 	asgnP.Obs = ep.Span
 	asgnP.Workers = ep.Workers
+	asgnP.Progress = ep.Progress
 	var asgn *assign.Assignment
 	retries := 0
 	for count := ep.OnChipCount; count <= ep.OnChipCount+6; count++ {

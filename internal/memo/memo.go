@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -125,6 +126,11 @@ type space struct {
 	shards [shardCount]shard
 
 	hits, misses, waits, contended atomic.Int64
+
+	// hist, when set by Cache.Observe, records every Do call's time-to-answer
+	// (hits in nanoseconds, misses including their compute). Opt-in so bare
+	// library use pays nothing.
+	hist *obs.Histogram
 }
 
 // lock takes the shard mutex, counting acquisitions that had to block (the
@@ -184,6 +190,10 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 		return v
 	}
 	s := &c.spaces[sp]
+	if h := s.hist; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
+	}
 	sh := s.shardFor(key)
 
 	s.lock(sh)
@@ -314,6 +324,20 @@ func (c *Cache) Publish(o *obs.Observer) {
 		o.Gauge(obs.Label("memo.inflight_waits", "space", name)).Set(st.InflightWaits)
 		o.Gauge(obs.Label("memo.contended", "space", name)).Set(st.Contended)
 		o.Gauge(obs.Label("memo.entries", "space", name)).Set(int64(st.Entries))
+	}
+}
+
+// Observe enables per-keyspace lookup-duration histograms on the observer
+// (memo.lookup{space=...}): every Do call records its time-to-answer,
+// which for misses includes the compute. Call before the cache is used
+// concurrently (NewServer wires it at construction); safe on a nil Cache
+// or Observer.
+func (c *Cache) Observe(o *obs.Observer) {
+	if c == nil || o == nil {
+		return
+	}
+	for sp := Space(0); sp < numSpaces; sp++ {
+		c.spaces[sp].hist = o.Histogram(obs.Label("memo.lookup", "space", sp.String()))
 	}
 }
 

@@ -45,6 +45,15 @@ type Observer struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stages   map[string]*Histogram // per-span-name wall-time histograms
+
+	// Subtree captures: per-root-span collectors for the flight recorder.
+	// capturing is the lock-free fast path — Span.End only takes capMu when
+	// at least one capture is active.
+	capturing atomic.Int64
+	capMu     sync.Mutex
+	captures  map[uint64]*Collector
 }
 
 // New returns an Observer emitting finished spans into the given sinks.
@@ -54,6 +63,9 @@ func New(sinks ...Sink) *Observer {
 		sinks:    sinks,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		stages:   make(map[string]*Histogram),
+		captures: make(map[uint64]*Collector),
 	}
 }
 
@@ -62,17 +74,65 @@ func (o *Observer) Start(name string) *Span {
 	if o == nil {
 		return nil
 	}
-	return o.newSpan(name, 0)
+	return o.newSpan(name, 0, 0)
 }
 
-func (o *Observer) newSpan(name string, parent uint64) *Span {
-	return &Span{
+func (o *Observer) newSpan(name string, parent, root uint64) *Span {
+	s := &Span{
 		o:          o,
 		id:         o.nextID.Add(1),
 		parent:     parent,
 		name:       name,
 		start:      time.Now(),
 		startAlloc: heapAllocs(),
+	}
+	if root == 0 {
+		s.root = s.id
+	} else {
+		s.root = root
+	}
+	return s
+}
+
+// CaptureSubtree starts recording every span of root's tree (root itself
+// and all descendants, as they End) into a private Collector, independent
+// of the observer's sinks. The flight recorder uses this to keep a
+// degraded request's full span tree. Safe on a nil Observer or Span
+// (returns nil). Pair with ReleaseSubtree.
+func (o *Observer) CaptureSubtree(root *Span) *Collector {
+	if o == nil || root == nil {
+		return nil
+	}
+	c := NewCollector()
+	o.capMu.Lock()
+	o.captures[root.id] = c
+	o.capMu.Unlock()
+	o.capturing.Add(1)
+	return c
+}
+
+// ReleaseSubtree stops the capture started for root. The Collector handed
+// out by CaptureSubtree stays readable.
+func (o *Observer) ReleaseSubtree(root *Span) {
+	if o == nil || root == nil {
+		return
+	}
+	o.capMu.Lock()
+	if _, ok := o.captures[root.id]; ok {
+		delete(o.captures, root.id)
+		o.capturing.Add(-1)
+	}
+	o.capMu.Unlock()
+}
+
+// captureSpan routes a finished span record to the collector capturing its
+// root, if any.
+func (o *Observer) captureSpan(root uint64, rec *SpanRecord) {
+	o.capMu.Lock()
+	c := o.captures[root]
+	o.capMu.Unlock()
+	if c != nil {
+		c.Span(rec)
 	}
 }
 
@@ -133,9 +193,11 @@ func (o *Observer) Counters() map[string]int64 {
 // The maps marshal directly to JSON; Go's encoder emits object keys sorted,
 // so serialized snapshots are stable for diffing and goldens.
 type Snapshot struct {
-	UptimeUS int64            `json:"uptime_us"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	UptimeUS   int64                        `json:"uptime_us"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Stages     map[string]HistogramSnapshot `json:"stages,omitempty"`
 }
 
 // Snapshot returns the current metric state. Safe on a nil Observer (zero
@@ -160,6 +222,8 @@ func (o *Observer) Snapshot() Snapshot {
 	for n, g := range o.gauges {
 		s.Gauges[n] = g.v.Load()
 	}
+	s.Histograms = snapshotHists(o.hists)
+	s.Stages = snapshotHists(o.stages)
 	return s
 }
 
@@ -246,6 +310,7 @@ func Label(name string, kv ...string) string {
 type Span struct {
 	o          *Observer
 	id, parent uint64
+	root       uint64 // id of the tree's root span (== id for roots)
 	name       string
 	start      time.Time
 	startAlloc uint64
@@ -263,7 +328,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.o.newSpan(name, s.id)
+	return s.o.newSpan(name, s.id, s.root)
 }
 
 // Observer returns the owning Observer (nil on a nil Span), the handle for
@@ -334,5 +399,9 @@ func (s *Span) End() {
 	}
 	for _, sink := range s.o.sinks {
 		sink.Span(rec)
+	}
+	s.o.stageHistogram(s.name).ObserveUS(rec.WallUS)
+	if s.o.capturing.Load() > 0 {
+		s.o.captureSpan(s.root, rec)
 	}
 }

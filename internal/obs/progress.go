@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Progress is the live-introspection side channel of one exploration: the
+// pipeline stages and the branch-and-bound engines publish their current
+// position into it, and the serving layer reads it out concurrently for
+// /debug/explorations and the SSE progress stream. It is strictly
+// write-only for the engines — nothing in the search ever reads it back —
+// so wiring a Progress in cannot change any exploration decision, which is
+// what keeps instrumented runs byte-identical to bare ones.
+//
+// All fields are atomics; a nil *Progress is valid everywhere and records
+// nothing, the same idiom as the nil Observer.
+type Progress struct {
+	stage     atomic.Value // string: current pipeline stage / span name
+	nodes     atomic.Int64 // branch-and-bound nodes expanded so far
+	incumbent atomic.Uint64
+	incSet    atomic.Bool
+	bound     atomic.Uint64
+	boundSet  atomic.Bool
+}
+
+// SetStage publishes the stage the exploration is in.
+func (p *Progress) SetStage(name string) {
+	if p != nil {
+		p.stage.Store(name)
+	}
+}
+
+// AddNodes adds to the expanded-node total. The search engines flush in
+// batches at their existing poll points, so this costs one atomic add per
+// ~thousand nodes.
+func (p *Progress) AddNodes(n int64) {
+	if p != nil && n != 0 {
+		p.nodes.Add(n)
+	}
+}
+
+// SetIncumbent publishes the cost of the latest incumbent solution.
+func (p *Progress) SetIncumbent(cost float64) {
+	if p != nil {
+		p.incumbent.Store(math.Float64bits(cost))
+		p.incSet.Store(true)
+	}
+}
+
+// SetBound publishes the root lower bound of the latest search, the
+// optimistic cost no solution can beat. Together with the incumbent it
+// gives the bound gap, a best-effort optimality estimate.
+func (p *Progress) SetBound(bound float64) {
+	if p != nil {
+		p.bound.Store(math.Float64bits(bound))
+		p.boundSet.Store(true)
+	}
+}
+
+// ProgressSnapshot is a point-in-time copy of a Progress, shaped for JSON.
+// Incumbent/Bound/Gap are nil until the corresponding search published
+// them.
+type ProgressSnapshot struct {
+	Stage     string   `json:"stage,omitempty"`
+	Nodes     int64    `json:"nodes"`
+	Incumbent *float64 `json:"incumbent_cost,omitempty"`
+	Bound     *float64 `json:"bound,omitempty"`
+	Gap       *float64 `json:"bound_gap,omitempty"`
+}
+
+// Snapshot reads the current position. Safe on nil (zero snapshot) and
+// concurrently with the publishing engine.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	var s ProgressSnapshot
+	if v, ok := p.stage.Load().(string); ok {
+		s.Stage = v
+	}
+	s.Nodes = p.nodes.Load()
+	if p.incSet.Load() {
+		v := math.Float64frombits(p.incumbent.Load())
+		s.Incumbent = &v
+	}
+	if p.boundSet.Load() {
+		v := math.Float64frombits(p.bound.Load())
+		s.Bound = &v
+	}
+	if s.Incumbent != nil && s.Bound != nil {
+		gap := *s.Incumbent - *s.Bound
+		if gap < 0 {
+			gap = 0
+		}
+		s.Gap = &gap
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.SetStage("assign") // all no-ops, must not panic
+	p.AddNodes(5)
+	p.SetIncumbent(1.5)
+	p.SetBound(1.0)
+	if s := p.Snapshot(); s.Stage != "" || s.Nodes != 0 || s.Incumbent != nil || s.Bound != nil || s.Gap != nil {
+		t.Errorf("nil progress snapshot not zero: %+v", s)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := &Progress{}
+	if s := p.Snapshot(); s.Stage != "" || s.Incumbent != nil {
+		t.Fatalf("fresh snapshot not empty: %+v", s)
+	}
+	p.SetStage("sbd")
+	p.AddNodes(100)
+	p.AddNodes(28)
+	p.SetBound(10)
+	p.SetIncumbent(14.5)
+	s := p.Snapshot()
+	if s.Stage != "sbd" || s.Nodes != 128 {
+		t.Errorf("stage/nodes = %q/%d, want sbd/128", s.Stage, s.Nodes)
+	}
+	if s.Incumbent == nil || *s.Incumbent != 14.5 || s.Bound == nil || *s.Bound != 10 {
+		t.Errorf("incumbent/bound wrong: %+v", s)
+	}
+	if s.Gap == nil || *s.Gap != 4.5 {
+		t.Errorf("gap = %v, want 4.5", s.Gap)
+	}
+	// An incumbent at (or numerically below) the bound clamps the gap to 0:
+	// the search is done, not negative.
+	p.SetIncumbent(9)
+	if s := p.Snapshot(); s.Gap == nil || *s.Gap != 0 {
+		t.Errorf("gap below bound = %v, want 0", s.Gap)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	p := &Progress{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddNodes(1)
+				p.SetIncumbent(float64(w + i))
+				if i%100 == 0 {
+					p.SetStage("assign")
+				}
+				_ = p.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.Nodes != 4000 {
+		t.Errorf("nodes = %d, want 4000", s.Nodes)
+	}
+}

@@ -83,6 +83,33 @@ func StatsTable(recs []*SpanRecord) string {
 	return b.String()
 }
 
+// HistTable renders the histogram summary of a snapshot: the per-stage
+// span-duration histograms and any explicit histograms (memo lookups, pool
+// tasks), one row each with count, bucket-bound quantile estimates, max,
+// and total time. The -stats companion to StatsTable for stages that run
+// many times, where a single wall-time sum hides the distribution.
+func HistTable(snap Snapshot) string {
+	rows := make(map[string]HistogramSnapshot, len(snap.Stages)+len(snap.Histograms))
+	for n, h := range snap.Stages {
+		rows[n] = h
+	}
+	for n, h := range snap.Histograms {
+		rows[n] = h
+	}
+	if len(rows) == 0 {
+		return "(no histograms recorded)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %8s %10s %10s %10s %10s %12s\n",
+		"histogram", "count", "p50", "p90", "p99", "max", "total")
+	for _, n := range sortedKeys(rows) {
+		h := rows[n]
+		fmt.Fprintf(&b, "%-36s %8d %10s %10s %10s %10s %12s\n",
+			n, h.Count, fmtUS(h.P50US), fmtUS(h.P90US), fmtUS(h.P99US), fmtUS(h.MaxUS), fmtUS(h.SumUS))
+	}
+	return b.String()
+}
+
 func fmtUS(us int64) string {
 	return time.Duration(us * int64(time.Microsecond)).Round(10 * time.Microsecond).String()
 }

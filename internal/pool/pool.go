@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -39,6 +40,10 @@ type Pool struct {
 
 	spawns atomic.Int64 // items handed to a helper goroutine
 	inline atomic.Int64 // items run inline because the pool was saturated
+
+	// hist, when set by Observe, records each ForEach item's duration
+	// (pool.task). Opt-in so bare library use pays nothing.
+	hist *obs.Histogram
 }
 
 // New returns a pool of the given total width. Non-positive workers selects
@@ -80,6 +85,14 @@ func (p *Pool) Stats() (spawns, inline int64) {
 // items are waited for; they degrade internally through the same ctx).
 func (p *Pool) ForEach(ctx context.Context, n int, f func(i int)) {
 	done := ctx.Done()
+	if p != nil && p.hist != nil {
+		h, inner := p.hist, f
+		f = func(i int) {
+			start := time.Now()
+			inner(i)
+			h.Observe(time.Since(start))
+		}
+	}
 	if p == nil {
 		for i := 0; i < n; i++ {
 			if i > 0 && done != nil {
@@ -123,6 +136,17 @@ func (p *Pool) ForEach(ctx context.Context, n int, f func(i int)) {
 		}
 	}
 	wg.Wait()
+}
+
+// Observe enables the per-task duration histogram on the observer
+// (pool.task): every ForEach item records how long it ran, whether on a
+// helper goroutine or inline. Call before the pool is used concurrently
+// (NewServer wires it at construction); safe on a nil Pool or Observer.
+func (p *Pool) Observe(o *obs.Observer) {
+	if p == nil || o == nil {
+		return
+	}
+	p.hist = o.Histogram("pool.task")
 }
 
 // Publish snapshots the pool counters into the observer as gauges

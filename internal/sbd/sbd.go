@@ -57,6 +57,10 @@ type Params struct {
 	// their spans and counters to; nil disables instrumentation at
 	// near-zero cost.
 	Obs *obs.Span
+	// Progress, when non-nil, is told which stage the exploration is in
+	// (the serving layer's live-introspection side channel). Write-only:
+	// results are identical with or without it.
+	Progress *obs.Progress
 	// Memo is the exploration session's cross-variant cache: loop
 	// schedules and conflict-pattern derivations are memoized by canonical
 	// fingerprints, so variants that leave a loop untouched re-use its
@@ -953,6 +957,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 	p.normalize()
 	sp := p.Obs.Child("sbd.distribute")
 	defer sp.End()
+	p.Progress.SetStage("sbd")
 	sp.SetInt("budget", int64(totalBudget))
 	groups := groupsOf(s)
 

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,10 +31,21 @@ import (
 //
 // Endpoints:
 //
-//	POST /v1/explore  run the physical memory management stage on a spec
-//	                  (or the full BTPC methodology in demo mode)
-//	GET  /healthz     liveness ("ok", or 503 while draining)
-//	GET  /metrics     JSON snapshot of counters, gauges, and latencies
+//	POST /v1/explore            run the physical memory management stage on
+//	                            a spec (or the full BTPC methodology in demo
+//	                            mode); with Accept: text/event-stream the
+//	                            response is an SSE stream of progress events
+//	                            ending in the result (GET with ?request=
+//	                            works too, for EventSource clients)
+//	GET  /healthz               liveness ("ok", or 503 while draining)
+//	GET  /metrics               Prometheus text exposition (or the JSON
+//	                            snapshot when Accept prefers application/json)
+//	GET  /metrics.json          JSON snapshot of counters, gauges, histogram
+//	                            summaries, and latencies
+//	GET  /debug/explorations    in-flight request registry: stage, elapsed,
+//	                            search nodes, incumbent cost, bound gap
+//	GET  /debug/flightrecorder  last N slow/degraded/errored requests with
+//	                            their span trees and counter deltas
 //
 // Every response carries an X-Trace-Id header naming the request's root
 // span in the telemetry stream. Response bodies are deterministic functions
@@ -67,6 +80,15 @@ type ServeOptions struct {
 	// NoCache disables the session cache: every request recomputes.
 	// Responses are byte-identical either way.
 	NoCache bool
+	// FlightRecorder bounds the flight-recorder ring: the last N slow,
+	// degraded, or errored requests kept with their span trees and counter
+	// deltas for /debug/flightrecorder. 0 means 64; negative disables the
+	// recorder.
+	FlightRecorder int
+	// SlowRequest records completed requests at least this slow in the
+	// flight recorder even when they were neither degraded nor errored.
+	// 0 disables the slow criterion.
+	SlowRequest time.Duration
 }
 
 // Server is a shared exploration session behind an HTTP API. Create with
@@ -95,6 +117,15 @@ type Server struct {
 	runID     string
 
 	lat latencyRing
+	// reqHist is the request-latency histogram behind
+	// dtse_request_duration_seconds. Owned by the server (not the observer)
+	// so /metrics has latency data even with Obs == nil.
+	reqHist *obs.Histogram
+
+	flight *flightRecorder // nil when disabled
+
+	liveMu sync.Mutex
+	live   map[string]*liveEntry // in-flight explorations by trace id
 }
 
 // NewServer builds a Server with its session state. The caller owns opts.Obs
@@ -115,14 +146,31 @@ func NewServer(opts ServeOptions) *Server {
 		abort:   cancel,
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		runID:   fmt.Sprintf("%x", time.Now().UnixNano()),
+		reqHist: obs.NewHistogram(),
+		live:    make(map[string]*liveEntry),
 	}
 	if !opts.NoCache {
 		s.memo = memo.New()
+	}
+	// Opt-in duration histograms: wired here, at construction, before any
+	// concurrent use. Library callers that build their own cache/pool stay
+	// on the zero-cost path.
+	s.memo.Observe(s.obs)
+	s.workers.Observe(s.obs)
+	if opts.FlightRecorder >= 0 {
+		n := opts.FlightRecorder
+		if n == 0 {
+			n = 64
+		}
+		s.flight = newFlightRecorder(n)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/explore", s.handleExplore)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/debug/explorations", s.handleExplorations)
+	s.mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
 	return s
 }
 
@@ -198,9 +246,11 @@ type errorResponse struct {
 // parsedRequest is a validated explore request with its spec decoded and
 // its deduplication key derived.
 type parsedRequest struct {
-	req  *exploreRequest
-	spec *spec.Spec // spec mode only
-	key  string     // canonical dedup key (deadline excluded)
+	req   *exploreRequest
+	spec  *spec.Spec // spec mode only
+	key   string     // canonical dedup key (deadline excluded)
+	mode  string     // "spec" or "demo", for introspection
+	label string     // spec name or demo size, for introspection
 }
 
 const maxRequestBody = 8 << 20
@@ -236,6 +286,8 @@ func parseExplore(body io.Reader) (*parsedRequest, error) {
 			return nil, fmt.Errorf("demo.quant %d out of range (must be >= 0)", d.Quant)
 		}
 		p.key = fmt.Sprintf("demo|%d|%d|%d", d.Size, d.Seed, d.Quant)
+		p.mode = "demo"
+		p.label = fmt.Sprintf("size=%d", d.Size)
 		return p, nil
 	}
 	if req.Budget == 0 {
@@ -261,6 +313,8 @@ func parseExplore(body io.Reader) (*parsedRequest, error) {
 	}
 	p.key = fmt.Sprintf("spec|%d|%d|%d|%g|%t|%t|%s",
 		req.Budget, onchip, threshold, frame, inplace, interconnect, canon.String())
+	p.mode = "spec"
+	p.label = sp.Name
 	return p, nil
 }
 
@@ -295,30 +349,54 @@ func specParams(pr *paramsRequest) (onchip int, threshold int64, frame float64, 
 // --- handlers ---
 
 // servedResponse is the cached unit of the Requests keyspace: the exact
-// status and body bytes of one deterministic response.
+// status and body bytes of one deterministic response. degraded marks a
+// best-effort response computed under an expired deadline or abort; such
+// responses are never cached, so cached entries are never degraded.
 type servedResponse struct {
-	status int
-	body   []byte
+	status   int
+	body     []byte
+	degraded bool
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
+	// The trace id is assigned before any early exit, so every response —
+	// including 405, 400, 429, and 503 — is correlatable with telemetry and
+	// flight-recorder entries.
 	tid := fmt.Sprintf("%s-%06d", s.runID, s.nextTrace.Add(1))
 	w.Header().Set("X-Trace-Id", tid)
+	sse := wantsSSE(r)
+	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && sse) {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed,
+			"POST only (GET is accepted with Accept: text/event-stream and ?request=)")
+		return
+	}
 	s.requests.Add(1)
 	s.obs.Counter("server.requests").Add(1)
 	start := time.Now()
-	defer func() { s.lat.record(time.Since(start).Microseconds()) }()
+	defer func() {
+		us := time.Since(start).Microseconds()
+		s.lat.record(us)
+		s.reqHist.ObserveUS(us)
+	}()
 
 	if s.draining.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	p, err := parseExplore(r.Body)
+	body := io.Reader(r.Body)
+	if r.Method == http.MethodGet {
+		// EventSource clients cannot POST; they pass the request JSON in the
+		// query string instead.
+		q := r.URL.Query().Get("request")
+		if q == "" {
+			s.obs.Counter("server.bad_requests").Add(1)
+			s.writeError(w, http.StatusBadRequest, "GET requires the request JSON in ?request=")
+			return
+		}
+		body = strings.NewReader(q)
+	}
+	p, err := parseExplore(body)
 	if err != nil {
 		s.obs.Counter("server.bad_requests").Add(1)
 		s.writeError(w, http.StatusBadRequest, err.Error())
@@ -352,12 +430,72 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	prog := s.registerLive(tid, p)
+	defer s.unregisterLive(tid)
+	if sse {
+		s.serveSSE(ctx, w, r, p, tid, prog)
+		return
+	}
+	s.writeResponse(w, s.runExploration(ctx, p, tid, prog))
+}
+
+// runExploration runs one admitted exploration under its telemetry span,
+// capturing the span subtree and counter deltas when the flight recorder
+// might want them.
+func (s *Server) runExploration(ctx context.Context, p *parsedRequest, tid string, prog *obs.Progress) *servedResponse {
+	start := time.Now()
 	sp := s.obs.Start("serve.explore")
 	sp.SetStr("trace_id", tid)
-	resp := s.dedup(ctx, p, sp)
+	var capture *obs.Collector
+	var before obs.Snapshot
+	if s.flight != nil {
+		capture = s.obs.CaptureSubtree(sp)
+		before = s.obs.Snapshot()
+	}
+	resp := s.dedup(ctx, p, sp, prog)
 	sp.SetInt("status", int64(resp.status))
 	sp.End()
-	s.writeResponse(w, resp)
+	if s.flight != nil {
+		s.obs.ReleaseSubtree(sp)
+		s.maybeRecordFlight(tid, p, resp, start, capture, before, prog)
+	}
+	return resp
+}
+
+// maybeRecordFlight adds the finished request to the flight recorder when
+// it errored, degraded, or exceeded the slow threshold.
+func (s *Server) maybeRecordFlight(tid string, p *parsedRequest, resp *servedResponse,
+	start time.Time, capture *obs.Collector, before obs.Snapshot, prog *obs.Progress) {
+	dur := time.Since(start)
+	var reason string
+	switch {
+	case resp.status >= 400:
+		reason = "error"
+	case resp.degraded:
+		reason = "degraded"
+	case s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest:
+		reason = "slow"
+	default:
+		return
+	}
+	e := &FlightEntry{
+		TraceID:    tid,
+		Start:      start,
+		Reason:     reason,
+		Status:     resp.status,
+		DurationMS: float64(dur.Microseconds()) / 1e3,
+		Mode:       p.mode,
+		Label:      p.label,
+		Degraded:   resp.degraded,
+		Search:     prog.Snapshot(),
+	}
+	if capture != nil {
+		e.Spans = capture.Records()
+		after := s.obs.Snapshot()
+		e.Counters = deltaCounters(before.Counters, after.Counters)
+		e.Gauges = after.Gauges
+	}
+	s.flight.add(e)
 }
 
 // dedup answers the request through the Requests keyspace: identical
@@ -366,11 +504,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 // Abort) publishes uncacheable, so it is returned only to the request that
 // ran it — concurrent duplicates with live deadlines take over and
 // recompute rather than inherit a degraded response.
-func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span) *servedResponse {
+func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span, prog *obs.Progress) *servedResponse {
 	hit := true
+	prog.SetStage("dedup")
 	v := s.memo.Do(memo.Requests, p.key, func() (any, bool) {
 		hit = false
-		resp := s.explore(ctx, p, sp)
+		resp := s.explore(ctx, p, sp, prog)
 		cacheable := resp.status == http.StatusOK && ctx.Err() == nil
 		return resp, cacheable
 	})
@@ -384,7 +523,7 @@ func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span) *ser
 // explore runs the exploration and serializes the response. The body is a
 // deterministic function of the parsed request (trace IDs and timing live
 // in headers and telemetry only), which is what makes caching sound.
-func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span) *servedResponse {
+func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, prog *obs.Progress) *servedResponse {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	s.obs.Gauge("server.inflight").Set(s.inflight.Load())
@@ -394,6 +533,7 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span) *s
 	ep.Span = sp
 	ep.Memo = s.memo
 	ep.Workers = s.workers
+	ep.Progress = prog
 
 	env := &exploreResponse{}
 	if p.req.Demo != nil {
@@ -430,7 +570,9 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span) *s
 	if err != nil {
 		return errResponse(http.StatusInternalServerError, err)
 	}
-	return &servedResponse{status: http.StatusOK, body: append(body, '\n')}
+	// Degraded mirrors the cacheability rule: a 200 computed under a dead
+	// context is the anytime best-effort answer, not the full exploration.
+	return &servedResponse{status: http.StatusOK, body: append(body, '\n'), degraded: ctx.Err() != nil}
 }
 
 func errResponse(status int, err error) *servedResponse {
@@ -510,9 +652,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// metricsResponse is the GET /metrics body: the server's own gauges and
-// latency percentiles, the telemetry counter/gauge snapshot, and the
-// session cache accounting.
+// metricsResponse is the GET /metrics.json body: the server's own gauges
+// and latency percentiles, the telemetry counter/gauge/histogram snapshot,
+// and the session cache accounting.
 type metricsResponse struct {
 	Server serverMetrics         `json:"server"`
 	Obs    obs.Snapshot          `json:"obs"`
@@ -526,13 +668,30 @@ type serverMetrics struct {
 	OK           int64 `json:"responses_2xx"`
 	ClientErrors int64 `json:"responses_4xx"`
 	ServerErrors int64 `json:"responses_5xx"`
-	LatencyCount int64 `json:"latency_count"`
-	LatencyP50US int64 `json:"latency_p50_us"`
-	LatencyP99US int64 `json:"latency_p99_us"`
-	Draining     bool  `json:"draining"`
+	// The latency ring percentiles are the bounded-window fallback view;
+	// LatencyHist is the lifetime histogram behind
+	// dtse_request_duration_seconds.
+	LatencyCount int64                 `json:"latency_count"`
+	LatencyP50US int64                 `json:"latency_p50_us"`
+	LatencyP99US int64                 `json:"latency_p99_us"`
+	LatencyHist  obs.HistogramSnapshot `json:"latency_hist"`
+	Flights      int                   `json:"flight_entries"`
+	Open         int                   `json:"open_explorations"`
+	Draining     bool                  `json:"draining"`
 }
 
+// handleMetrics content-negotiates the exposition: Prometheus text by
+// default, the JSON snapshot when the client asks for application/json
+// (also always available at /metrics.json).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	s.handleMetricsProm(w, r)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	n, p50, p99 := s.lat.percentiles()
 	m := metricsResponse{
 		Server: serverMetrics{
@@ -545,9 +704,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			LatencyCount: n,
 			LatencyP50US: p50,
 			LatencyP99US: p99,
+			LatencyHist:  s.reqHist.Snapshot(),
+			Open:         s.openExplorations(),
 			Draining:     s.draining.Load(),
 		},
 		Obs: s.obs.Snapshot(),
+	}
+	if s.flight != nil {
+		m.Server.Flights = s.flight.size()
 	}
 	if s.memo != nil {
 		m.Memo = make(map[string]memo.Stats)
@@ -598,8 +762,18 @@ func (l *latencyRing) percentiles() (n, p50, p99 int64) {
 	copy(window, l.buf[:k])
 	l.mu.Unlock()
 	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	// Nearest-rank percentile: the smallest sample with at least p·k samples
+	// at or below it, i.e. window[ceil(p·k)-1]. The old floor(p·(k-1)) form
+	// under-reported at small counts — with two samples it returned the
+	// minimum as the p99.
 	idx := func(p float64) int64 {
-		i := int(p * float64(k-1))
+		i := int(math.Ceil(p*float64(k))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= int(k) {
+			i = int(k) - 1
+		}
 		return window[i]
 	}
 	return n, idx(0.50), idx(0.99)

@@ -331,7 +331,7 @@ func TestServerConcurrentObserverSafety(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, _ := http.Get(ts.URL + "/metrics")
+			resp, _ := http.Get(ts.URL + "/metrics.json")
 			if resp != nil {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
@@ -412,7 +412,7 @@ func TestServerDedupAndMetrics(t *testing.T) {
 		t.Fatal("reserialized identical request returned a different body")
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
