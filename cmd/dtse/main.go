@@ -5,7 +5,12 @@
 //
 //	dtse [-size 1024] [-seed 1] [-quant 1] [-table N] [-figure N]
 //	     [-timeout 30s] [-trace out.jsonl] [-stats] [-pprof addr]
-//	     [-cache on|off] [-workers N]
+//	     [-cache on|off] [-cache-dir DIR] [-workers N]
+//
+// With -cache-dir, the completed run's output is persisted to an
+// append-only log in DIR; an identical later invocation replays it
+// byte-for-byte without exploring (noted on stderr). Degraded runs are
+// never stored.
 //
 // Without -table/-figure, everything is printed. -timeout bounds the whole
 // exploration: when it expires (or the process receives SIGINT/SIGTERM) the
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"expvar"
 	"flag"
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/pool"
 )
@@ -69,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print the per-step telemetry summary to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
 	cache := fs.String("cache", "on", "cross-variant evaluation cache: on or off (results are identical either way)")
+	cacheDir := fs.String("cache-dir", "", "persist completed results to an append-only log in this directory; identical later runs are answered from it")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool width for the parallel exploration (results are identical at any width)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +101,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dtse: -timeout %v out of range (must be >= 0)\n", *timeout)
 		fs.Usage()
 		return 2
+	}
+
+	// Disk result cache: the key pins every flag that shapes stdout; a hit
+	// replays the recorded bytes without exploring at all. Only completed
+	// (non-degraded) runs are stored, so replayed output is always the
+	// full-exploration output.
+	var disk *memo.DiskTier
+	var diskKey string
+	var captured *bytes.Buffer
+	if *cacheDir != "" {
+		d, err := memo.OpenDiskTier(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "dtse:", err)
+			return 1
+		}
+		defer d.Close()
+		disk = d
+		diskKey = fmt.Sprintf("dtse|1|%d|%d|%d|%d|%d|%t|%t|%t",
+			*size, *seed, *quant, *table, *figure, *verbose, *ablations, *inplaceF)
+		if body, ok := disk.Get(memo.Requests, diskKey); ok {
+			stdout.Write(body)
+			fmt.Fprintf(stderr, "(result served from %s)\n", disk.Path())
+			return 0
+		}
+		captured = &bytes.Buffer{}
+		stdout = io.MultiWriter(stdout, captured)
 	}
 
 	// Cancellation: SIGINT/SIGTERM always degrade the run gracefully; an
@@ -243,6 +277,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "\nEvaluation cache (-cache=%s):\n%s", *cache, ep.Memo.StatsString())
+	}
+	if disk != nil && ctx.Err() == nil {
+		disk.Put(memo.Requests, diskKey, captured.Bytes())
+		if err := disk.Close(); err != nil { // flush write-behind before exit
+			fmt.Fprintln(stderr, "dtse:", err)
+		}
 	}
 	fmt.Fprintf(stderr, "(exploration completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return 0

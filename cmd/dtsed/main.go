@@ -7,7 +7,16 @@
 //
 //	dtsed [-addr 127.0.0.1:8321] [-concurrency N] [-queue N]
 //	      [-timeout 0] [-max-timeout 0] [-workers N] [-drain 5s]
-//	      [-trace out.jsonl] [-cache on|off] [-flight N] [-slow 0]
+//	      [-trace out.jsonl] [-cache on|off] [-cache-dir DIR]
+//	      [-cache-bytes N] [-warm on|off] [-flight N] [-slow 0]
+//
+// With -cache-dir the daemon keeps a disk-backed second cache tier: every
+// completed response is appended (write-behind, checksummed) to
+// DIR/cache.log and survives restarts — a fresh process answers previously
+// seen requests byte-identically from disk and re-seeds its warm-start
+// index from the recovered organizations. -cache-bytes caps each in-memory
+// keyspace, evicting cold entries CLOCK-wise; the disk tier still holds
+// everything appended.
 //
 // Endpoints:
 //
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/memo"
 	"repro/internal/obs"
 )
 
@@ -73,6 +83,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight explorations are degraded")
 	traceOut := fs.String("trace", "", "write the exploration telemetry (JSONL spans + counters) to this file")
 	cache := fs.String("cache", "on", "session cache: on or off (responses are identical either way)")
+	cacheDir := fs.String("cache-dir", "", "persist completed responses to an append-only log in this directory (disk cache tier, survives restarts)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "byte cap per session-cache keyspace, evicting beyond it (0 = unbounded)")
+	warm := fs.String("warm", "on", "warm-start search from cached neighbour assignments: on or off (completed results are identical either way)")
 	flight := fs.Int("flight", 64, "flight-recorder capacity: last N slow/degraded/errored requests (-1 disables)")
 	slow := fs.Duration("slow", 0, "flight-record healthy requests at least this slow (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +93,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *cache != "on" && *cache != "off" {
 		fmt.Fprintf(stderr, "dtsed: -cache %q invalid (want on or off)\n", *cache)
+		fs.Usage()
+		return 2
+	}
+	if *warm != "on" && *warm != "off" {
+		fmt.Fprintf(stderr, "dtsed: -warm %q invalid (want on or off)\n", *warm)
+		fs.Usage()
+		return 2
+	}
+	if *cacheBytes < 0 {
+		fmt.Fprintln(stderr, "dtsed: -cache-bytes must be >= 0")
 		fs.Usage()
 		return 2
 	}
@@ -107,6 +130,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	observer := obs.New(sinks...) // always on: /metrics serves its snapshot
 
+	var disk *memo.DiskTier
+	if *cacheDir != "" {
+		d, err := memo.OpenDiskTier(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "dtsed:", err)
+			return 1
+		}
+		disk = d
+		st := d.Stats()
+		fmt.Fprintf(stdout, "dtsed: disk cache %s (%d record(s) recovered)\n", d.Path(), st.Records)
+	}
+
 	srv := dtse.NewServer(dtse.ServeOptions{
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
@@ -115,6 +150,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:        *workers,
 		Obs:            observer,
 		NoCache:        *cache == "off",
+		CacheBytes:     *cacheBytes,
+		Disk:           disk,
+		NoWarmStart:    *warm == "off",
 		FlightRecorder: *flight,
 		SlowRequest:    *slow,
 	})
@@ -156,6 +194,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Flush the write-behind queue before exiting: everything computed by a
+	// cleanly drained daemon is durable for the next start.
+	if err := disk.Close(); err != nil {
+		fmt.Fprintln(stderr, "dtsed: disk cache close:", err)
+	}
 	if err := observer.Flush(); err != nil {
 		fmt.Fprintln(stderr, "dtsed: telemetry flush:", err)
 	}

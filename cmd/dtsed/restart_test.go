@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/memo"
+)
+
+// diskMetrics fetches the /metrics.json snapshot fields the restart tests
+// assert on.
+type diskMetrics struct {
+	Memo map[string]memo.Stats `json:"memo"`
+	Disk *memo.DiskStats       `json:"disk"`
+}
+
+func getDiskMetrics(t *testing.T, url string) diskMetrics {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m diskMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitDiskWrites polls until the disk tier has durably appended at least
+// want records (writes are write-behind; the hot path does not wait).
+func waitDiskWrites(t *testing.T, url string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := getDiskMetrics(t, url); m.Disk != nil && m.Disk.Writes >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("disk tier never recorded %d write(s)", want)
+}
+
+// TestDaemonRestartServesFromDiskTier is the restart e2e of the persistent
+// cache tier: daemon one computes a response and drains cleanly; daemon two
+// on the same -cache-dir answers the identical request byte-identically
+// from the disk tier — visible as a requests-keyspace DiskHits count, not a
+// recompute.
+func TestDaemonRestartServesFromDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	body := fmt.Sprintf(`{"spec": %s, "budget": 20000}`, testSpecJSON)
+
+	url1, shutdown1, exit1, out1 := startDaemon(t, "-cache-dir", dir, "-drain", "5s")
+	status, first := post(t, url1, body)
+	if status != http.StatusOK {
+		t.Fatalf("populate: status %d: %s", status, first)
+	}
+	waitDiskWrites(t, url1, 1)
+	shutdown1()
+	select {
+	case code := <-exit1:
+		if code != 0 {
+			t.Fatalf("first daemon exited %d:\n%s", code, out1.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("first daemon never exited:\n%s", out1.String())
+	}
+
+	url2, shutdown2, exit2, out2 := startDaemon(t, "-cache-dir", dir, "-drain", "5s")
+	defer func() {
+		shutdown2()
+		select {
+		case <-exit2:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("second daemon never exited:\n%s", out2.String())
+		}
+	}()
+	if !strings.Contains(out2.String(), "disk cache") {
+		t.Fatalf("second daemon did not announce the disk cache:\n%s", out2.String())
+	}
+	m := getDiskMetrics(t, url2)
+	if m.Disk == nil || m.Disk.Replayed < 1 {
+		t.Fatalf("second daemon replayed no records: %+v", m.Disk)
+	}
+
+	status, second := post(t, url2, body)
+	if status != http.StatusOK {
+		t.Fatalf("replay request: status %d: %s", status, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("restarted daemon served different bytes\nfirst:  %s\nsecond: %s", first, second)
+	}
+	m = getDiskMetrics(t, url2)
+	req := m.Memo["requests"]
+	if req.DiskHits < 1 {
+		t.Fatalf("identical request after restart was not a disk-tier hit: %+v", req)
+	}
+	if req.Misses < 1 {
+		t.Fatalf("request should miss the (empty) memory tier before hitting disk: %+v", req)
+	}
+}
+
+// TestDaemonKill9Recovery is the crash e2e: a real dtsed subprocess is
+// SIGKILLed with a populated cache log, the log is additionally torn
+// mid-record (what a kill during an append leaves), and a fresh daemon on
+// the same directory must recover the intact records and serve the request
+// byte-identically from disk.
+func TestDaemonKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(t.TempDir(), "dtsed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", dir)
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	var url string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			url = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subprocess never started listening:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := fmt.Sprintf(`{"spec": %s, "budget": 20000}`, testSpecJSON)
+	status, first := post(t, url, body)
+	if status != http.StatusOK {
+		t.Fatalf("populate: status %d: %s", status, first)
+	}
+	waitDiskWrites(t, url, 1)
+
+	// kill -9: no drain, no writer flush, no Close.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	// Tear the log the way a kill mid-append would: a header promising more
+	// payload than was written.
+	f, err := os.OpenFile(filepath.Join(dir, "cache.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	url2, shutdown2, exit2, out2 := startDaemon(t, "-cache-dir", dir, "-drain", "5s")
+	defer func() {
+		shutdown2()
+		select {
+		case <-exit2:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("recovery daemon never exited:\n%s", out2.String())
+		}
+	}()
+	m := getDiskMetrics(t, url2)
+	if m.Disk == nil || m.Disk.Replayed < 1 {
+		t.Fatalf("recovery daemon replayed no records: %+v", m.Disk)
+	}
+	if m.Disk.Truncated == 0 {
+		t.Fatalf("torn tail was not truncated: %+v", m.Disk)
+	}
+	status, second := post(t, url2, body)
+	if status != http.StatusOK {
+		t.Fatalf("post-crash request: status %d: %s", status, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("post-crash daemon served different bytes\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if req := getDiskMetrics(t, url2).Memo["requests"]; req.DiskHits < 1 {
+		t.Fatalf("post-crash request was not a disk-tier hit: %+v", req)
+	}
+}

@@ -379,6 +379,20 @@ func branchAndBoundParallel(ctx context.Context, pr *problem, maxMem int, sp *ob
 		seed = gCost
 		prog.SetIncumbent(gCost)
 	}
+	// Warm start: the re-priced neighbour assignment, one ulp above its own
+	// cost (see seedIncumbent), feeds the split bound, every worker's local
+	// incumbent and the shared CAS bound — the same places the greedy cost
+	// already flows — so determinism is unchanged.
+	warmed := false
+	var wAssign []int
+	if pr.p.Seed != nil {
+		if a, sCost, ok := seedIncumbent(pr, maxMem, &pre); ok {
+			if sb := math.Nextafter(sCost, math.Inf(1)); sb < seed {
+				seed, wAssign, warmed = sb, a, true
+				prog.SetIncumbent(sCost)
+			}
+		}
+	}
 
 	stopped := false
 	done := ctx.Done()
@@ -425,6 +439,12 @@ func branchAndBoundParallel(ctx context.Context, pr *problem, maxMem int, sp *ob
 	if gOK {
 		bestCost, bestAssign, bestSub = gCost, gAssign, -1
 	}
+	if warmed {
+		// Workers only record strict improvements below the seed bound, so
+		// any worker candidate beats this by cost alone; the index never
+		// breaks a tie against it.
+		bestCost, bestAssign, bestSub = seed, wAssign, math.MaxInt
+	}
 	nodes := int64(visited)
 	prog.AddNodes(int64(visited))
 	var prunedLB, portRejects int64
@@ -469,6 +489,13 @@ func branchAndBoundParallel(ctx context.Context, pr *problem, maxMem int, sp *ob
 		}
 		if stopped {
 			o.Counter("assign.deadline_fallbacks").Add(1)
+		}
+		if pr.p.Seed != nil {
+			if warmed {
+				o.Counter("assign.incumbent_seeded").Add(1)
+			} else {
+				o.Counter("assign.seed_rejected").Add(1)
+			}
 		}
 	}
 	if math.IsInf(bestCost, 1) {

@@ -1,0 +1,228 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/memlib"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+)
+
+// feasibleInstance scans randomInstance seeds for one that completes at the
+// given memory count (and, when minOnChip > 0, whose optimum uses at least
+// that many on-chip memories), returning the instance with its cold result.
+func feasibleInstance(t *testing.T, tech *memlib.Tech, count, minOnChip int) (*spec.Spec, []sbd.Pattern, *Assignment) {
+	t.Helper()
+	for seed := int64(0); seed < 50; seed++ {
+		s, pats := randomInstance(seed)
+		ref, err := Assign(s, pats, tech, count, Params{})
+		if err != nil || !ref.Optimal || len(ref.OnChip) < minOnChip {
+			continue
+		}
+		return s, pats, ref
+	}
+	t.Fatalf("no feasible random instance at count %d", count)
+	return nil, nil, nil
+}
+
+// seedFrom flattens a completed assignment's on-chip bindings into the
+// Params.Seed shape (group name -> memory slot), the same way the server
+// builds warm-start seeds from cached responses.
+func seedFrom(a *Assignment) map[string]int {
+	seed := make(map[string]int)
+	for mi, b := range a.OnChip {
+		for _, g := range b.Groups {
+			seed[g] = mi
+		}
+	}
+	return seed
+}
+
+// TestWarmSeedMatchesCold is the warm-start equivalence pin: over random
+// instances, a completed search returns results deeply equal to the cold
+// search no matter what seed it was given — its own optimum (the tightest
+// possible bound, where ties must still resolve identically), a perturbed
+// assignment, and a nonsense seed. Sequential and parallel paths both.
+func TestWarmSeedMatchesCold(t *testing.T) {
+	tech := memlib.Default()
+	engagedTotal := int64(0)
+	for seed := int64(0); seed < 12; seed++ {
+		s, pats := randomInstance(seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for _, count := range []int{2, 3} {
+			ref, refErr := Assign(s, pats, tech, count, Params{})
+			if refErr != nil {
+				continue
+			}
+			if !ref.Optimal {
+				t.Fatalf("seed %d count %d: cold search did not complete", seed, count)
+			}
+
+			// Candidate seeds: the optimum itself, a perturbation of it, and
+			// one that cannot be feasible (all groups in one slot when the
+			// search uses several). Each may engage or be rejected — the
+			// completed result must be identical either way.
+			perfect := seedFrom(ref)
+			perturbed := seedFrom(ref)
+			for g := range perturbed {
+				if rng.Intn(3) == 0 {
+					perturbed[g] = rng.Intn(count)
+				}
+			}
+			collapsed := make(map[string]int)
+			for g := range perfect {
+				collapsed[g] = 0
+			}
+			for name, sd := range map[string]map[string]int{
+				"perfect": perfect, "perturbed": perturbed, "collapsed": collapsed,
+			} {
+				for _, workers := range []int{1, 4} {
+					o := obs.New()
+					span := o.Start("test")
+					p := Params{Seed: sd, Obs: span}
+					if workers > 1 {
+						p.Workers = pool.New(workers)
+					}
+					got, err := Assign(s, pats, tech, count, p)
+					span.End()
+					if err != nil {
+						t.Fatalf("seed %d count %d %s workers %d: %v", seed, count, name, workers, err)
+					}
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("seed %d count %d %s workers %d: warmed result diverged\n got: %+v\nwant: %+v",
+							seed, count, name, workers, got, ref)
+					}
+					c := o.Counters()
+					engaged, rejected := c["assign.incumbent_seeded"], c["assign.seed_rejected"]
+					if engaged+rejected == 0 {
+						t.Fatalf("seed %d count %d %s workers %d: neither incumbent_seeded nor seed_rejected fired (%v)",
+							seed, count, name, workers, c)
+					}
+					engagedTotal += engaged
+				}
+			}
+		}
+	}
+	// A seed only engages when it beats the greedy incumbent — on easy
+	// instances greedy is already optimal and the perfect seed is redundant.
+	// Across the whole sweep at least some instances must be hard enough
+	// that the seed actually tightened the bound, or warm starts do nothing.
+	if engagedTotal == 0 {
+		t.Fatal("no seed engaged across the sweep; warm starts never tighten the incumbent")
+	}
+}
+
+// TestWarmSeedForeignProblem: a seed from a structurally different problem
+// (wrong group names) is rejected, never crashes, and leaves the result
+// untouched.
+func TestWarmSeedForeignProblem(t *testing.T) {
+	tech := memlib.Default()
+	s, pats, ref := feasibleInstance(t, tech, 2, 0)
+	foreign := map[string]int{"no-such-group": 0, "also-missing": 1}
+	o := obs.New()
+	span := o.Start("test")
+	got, err := Assign(s, pats, tech, 2, Params{Seed: foreign, Obs: span})
+	span.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("foreign seed changed the result\n got: %+v\nwant: %+v", got, ref)
+	}
+	c := o.Counters()
+	if c["assign.seed_rejected"] == 0 {
+		t.Fatalf("foreign seed was not counted as rejected (%v)", c)
+	}
+	if c["assign.incumbent_seeded"] != 0 {
+		t.Fatalf("foreign seed claimed to engage (%v)", c)
+	}
+}
+
+// TestWarmSeedRejectedOnSlotCountMismatch: a seed that maps every group
+// into fewer distinct slots than the allocation count could undercut every
+// real search leaf (the mustOpen rule makes each leaf use all memories), so
+// it must be rejected rather than adopted as an unsound bound.
+func TestWarmSeedRejectedOnSlotCountMismatch(t *testing.T) {
+	tech := memlib.Default()
+	s, pats, ref := feasibleInstance(t, tech, 3, 3)
+	under := seedFrom(ref)
+	for g := range under {
+		under[g] = 0 // one slot for everything
+	}
+	o := obs.New()
+	span := o.Start("test")
+	got, err := Assign(s, pats, tech, 3, Params{Seed: under, Obs: span})
+	span.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("undercutting seed changed the result")
+	}
+	if c := o.Counters(); c["assign.seed_rejected"] == 0 {
+		t.Fatalf("single-slot seed for a 3-memory search was not rejected (%v)", c)
+	}
+}
+
+// TestWarmSeedPartialCoverage: a seed missing one on-chip group is
+// rejected.
+func TestWarmSeedPartialCoverage(t *testing.T) {
+	tech := memlib.Default()
+	s, pats, ref := feasibleInstance(t, tech, 2, 0)
+	partial := seedFrom(ref)
+	for g := range partial {
+		delete(partial, g)
+		break
+	}
+	if len(partial) == len(seedFrom(ref)) {
+		t.Fatal("could not build a partial seed")
+	}
+	o := obs.New()
+	span := o.Start("test")
+	got, err := Assign(s, pats, tech, 2, Params{Seed: partial, Obs: span})
+	span.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("partial seed changed the result")
+	}
+	if c := o.Counters(); c["assign.seed_rejected"] == 0 {
+		t.Fatalf("partial seed was not rejected (%v)", c)
+	}
+}
+
+// TestWarmSeedCrossInstance mimics the server's actual warm path: the seed
+// comes from a *neighbouring* problem (same structure, different seed of
+// the generator), not from this problem's own optimum.
+func TestWarmSeedCrossInstance(t *testing.T) {
+	tech := memlib.Default()
+	pairs := 0
+	for seed := int64(0); seed < 10; seed += 2 {
+		sa, pa := randomInstance(seed)
+		sb, pb := randomInstance(seed + 1)
+		donor, err := Assign(sa, pa, tech, 2, Params{})
+		if err != nil {
+			continue
+		}
+		ref, err := Assign(sb, pb, tech, 2, Params{})
+		if err != nil {
+			continue
+		}
+		got, err := Assign(sb, pb, tech, 2, Params{Seed: seedFrom(donor)})
+		if err != nil {
+			t.Fatalf("pair %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("pair %d: neighbour seed changed the result\n got: %+v\nwant: %+v", seed, got, ref)
+		}
+		pairs++
+	}
+	if pairs == 0 {
+		t.Fatal("no usable instance pair")
+	}
+}

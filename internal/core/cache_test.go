@@ -132,6 +132,67 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	}
 }
 
+// TestBoundedCacheRunMatchesUnbounded: capping the session cache (with a
+// cap tight enough to force real evictions) must only change what stays
+// resident — a bounded, an unbounded, and a cache-disabled full run render
+// byte-identical tables and figures.
+func TestBoundedCacheRunMatchesUnbounded(t *testing.T) {
+	epBounded := DefaultEvalParams().ScaleTo(64)
+	if epBounded.Memo == nil {
+		t.Fatal("DefaultEvalParams did not attach a session cache")
+	}
+	const cap = 16 << 10 // tight: the demo workload far exceeds 16 KiB of entries
+	for sp := memo.Space(0); sp <= memo.Requests; sp++ {
+		epBounded.Memo.Bound(sp, cap)
+	}
+	bounded, err := RunAll(DemoConfig{Size: 64}, epBounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictions, held := int64(0), int64(0)
+	for sp := memo.Space(0); sp <= memo.Requests; sp++ {
+		st := epBounded.Memo.Stats(sp)
+		evictions += st.Evictions
+		if st.BytesHeld > held {
+			held = st.BytesHeld
+		}
+		if st.BytesHeld > cap {
+			t.Fatalf("space %v holds %d bytes over its %d cap", sp, st.BytesHeld, cap)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("the 16 KiB cap caused no evictions; the bound was not exercised")
+	}
+
+	epPlain := DefaultEvalParams().ScaleTo(64)
+	epPlain.Memo = nil
+	plain, err := RunAll(DemoConfig{Size: 64}, epPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epFree := DefaultEvalParams().ScaleTo(64)
+	free, err := RunAll(DemoConfig{Size: 64}, epFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRenders := renderAll(plain)
+	for name, got := range renderAll(bounded) {
+		if got != wantRenders[name] {
+			t.Errorf("bounded cache changed results: %s differs from the uncached run", name)
+		}
+	}
+	for name, got := range renderAll(free) {
+		if got != wantRenders[name] {
+			t.Errorf("unbounded cache changed results: %s differs from the uncached run", name)
+		}
+	}
+	if bounded.Final.Asgn.Optimal != plain.Final.Asgn.Optimal {
+		t.Errorf("final Optimal flag differs: bounded=%v uncached=%v",
+			bounded.Final.Asgn.Optimal, plain.Final.Asgn.Optimal)
+	}
+}
+
 // renderAll renders every table and figure of a Results for byte-comparison.
 func renderAll(r *Results) map[string]string {
 	return map[string]string{

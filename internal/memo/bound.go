@@ -1,0 +1,141 @@
+package memo
+
+// Bounded tier: per-keyspace byte caps with CLOCK (second-chance) eviction.
+//
+// An unbounded session cache OOMs a long-lived daemon under sustained
+// diverse traffic — every distinct spec, budget point and schedule stays
+// resident forever. Bound caps one keyspace at a byte budget; when a new
+// cacheable result would push the space over its cap, resident entries are
+// evicted (least-recently-referenced first, by CLOCK approximation) until
+// it fits. Two invariants hold, both pinned by property tests:
+//
+//   - bytesHeld never exceeds capBytes, at any instant: room is made
+//     *before* the new entry's bytes are accounted, and every increment
+//     happens under evictMu.
+//   - an in-flight singleflight entry is never evicted: the sweep skips
+//     entries whose bytes are still 0 (bytes is written by retain, before
+//     done is closed), so waiters can never lose the computation they are
+//     blocked on.
+//
+// An unbounded space (the default) takes none of these paths: retain
+// returns immediately and Do's hit path only checks capBytes.
+
+// Sized lets cached values report their retained footprint for byte
+// accounting. Values that do not implement Sized are estimated from their
+// dynamic type (exact for []byte and string payloads, a flat guess
+// otherwise — accounting only needs the same number added and removed).
+type Sized interface {
+	CacheBytes() int
+}
+
+// entryOverhead approximates the fixed per-entry cost: the map slot, the
+// entry struct and its done channel.
+const entryOverhead = 160
+
+// defaultValueSize is the estimate for values that are neither Sized nor a
+// byte/string payload (schedules, pattern sets, port maps).
+const defaultValueSize = 256
+
+func sizeOf(key string, val any) int64 {
+	n := int64(len(key)) + entryOverhead
+	switch v := val.(type) {
+	case Sized:
+		return n + int64(v.CacheBytes())
+	case []byte:
+		return n + int64(len(v))
+	case string:
+		return n + int64(len(v))
+	}
+	return n + defaultValueSize
+}
+
+// Bound caps the bytes one keyspace may retain; entries are evicted
+// CLOCK-wise to stay under the cap. maxBytes <= 0 leaves the space
+// unbounded. Call before the cache is used concurrently (like Observe);
+// safe on a nil Cache.
+func (c *Cache) Bound(sp Space, maxBytes int64) {
+	if c == nil || maxBytes <= 0 {
+		return
+	}
+	c.spaces[sp].capBytes = maxBytes
+}
+
+// touch marks an entry recently used (the CLOCK reference bit). Only
+// bounded spaces pay the atomic store.
+func (s *space) touch(e *entry) {
+	if s.capBytes > 0 {
+		e.ref.Store(true)
+	}
+}
+
+// retain accounts a freshly computed (or disk-promoted) entry against the
+// space's byte cap, evicting older entries first so bytesHeld never
+// exceeds the cap. When room cannot be made — the value alone is larger
+// than the cap, or everything resident is in flight — the entry is removed
+// from the map instead: waiters still read its value (ok is true), later
+// callers recompute. No-op for unbounded spaces.
+func (s *space) retain(sh *shard, key string, e *entry) {
+	if s.capBytes <= 0 {
+		return
+	}
+	size := sizeOf(key, e.val)
+	s.evictMu.Lock()
+	if s.makeRoom(size) {
+		e.bytes = size
+		s.bytesHeld.Add(size)
+		s.evictMu.Unlock()
+		return
+	}
+	s.evictMu.Unlock()
+	s.oversize.Add(1)
+	s.lock(sh)
+	if sh.m[key] == e {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// makeRoom evicts resident entries until need more bytes fit under the
+// cap. Called under evictMu. The CLOCK sweep walks the shards from the
+// hand; a set reference bit buys the entry one more pass, in-flight
+// entries (bytes still 0) are never candidates. Three full passes bound
+// the sweep: the first two give every resident entry its second chance,
+// the third catches entries re-referenced mid-sweep. Returns false when
+// the space still cannot fit need bytes (then the caller must not account
+// the entry).
+func (s *space) makeRoom(need int64) bool {
+	if need > s.capBytes {
+		return false
+	}
+	target := s.capBytes - need
+	if s.bytesHeld.Load() <= target {
+		return true
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < shardCount; i++ {
+			sh := &s.shards[s.hand]
+			s.hand = (s.hand + 1) % shardCount
+			s.lock(sh)
+			for k, e := range sh.m {
+				if e.bytes == 0 {
+					continue // in flight: never evict a singleflight target
+				}
+				if e.ref.CompareAndSwap(true, false) {
+					continue // recently used: second chance
+				}
+				delete(sh.m, k)
+				s.bytesHeld.Add(-e.bytes)
+				s.evictions.Add(1)
+				if s.bytesHeld.Load() <= target {
+					sh.mu.Unlock()
+					return true
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if s.bytesHeld.Load() <= target {
+			return true
+		}
+	}
+	return s.bytesHeld.Load() <= target
+}

@@ -83,6 +83,16 @@ type Stats struct {
 	InflightWaits int64 // Do calls that waited for a concurrent compute
 	Contended     int64 // shard-lock acquisitions that had to block
 	Entries       int   // cached values currently held
+
+	// Bounded-tier accounting (zero when the space is unbounded).
+	Evictions     int64 // entries evicted to stay under the byte cap
+	BytesHeld     int64 // bytes currently retained (never exceeds CapBytes)
+	CapBytes      int64 // the byte cap set by Bound (0 = unbounded)
+	OversizeDrops int64 // computed values not retained because room could not be made
+
+	// Disk-tier accounting (zero when no disk tier is attached).
+	DiskHits   int64 // misses answered from the disk tier instead of compute
+	DiskWrites int64 // cacheable results queued to the disk tier
 }
 
 // HitRate returns hits / (hits + misses), or 0 when the space is untouched.
@@ -110,6 +120,13 @@ type entry struct {
 	next    *entry       // successor installed on uncacheable completion
 	waiters atomic.Int64 // callers blocked on done (registered under lock)
 	claimed atomic.Bool  // successor takeover: first CAS winner computes
+
+	// Bounded-tier state: bytes is the accounted size, written by retain
+	// before done is closed (0 marks the entry in flight or unaccounted —
+	// the eviction sweep skips those); ref is the CLOCK reference bit, set
+	// on every hit and cleared for a second chance before eviction.
+	bytes int64
+	ref   atomic.Bool
 }
 
 // shardCount is the number of map+mutex shards per keyspace. 64 shards keep
@@ -123,6 +140,7 @@ type shard struct {
 }
 
 type space struct {
+	id     Space
 	shards [shardCount]shard
 
 	hits, misses, waits, contended atomic.Int64
@@ -131,6 +149,20 @@ type space struct {
 	// (hits in nanoseconds, misses including their compute). Opt-in so bare
 	// library use pays nothing.
 	hist *obs.Histogram
+
+	// Bounded tier (capBytes set by Cache.Bound before concurrent use;
+	// 0 = unbounded, the default). All bytesHeld increments happen under
+	// evictMu after room has been made, so bytesHeld never exceeds capBytes.
+	capBytes  int64
+	bytesHeld atomic.Int64
+	evictions atomic.Int64
+	oversize  atomic.Int64
+	evictMu   sync.Mutex
+	hand      int // CLOCK hand: next shard to sweep (guarded by evictMu)
+
+	// Disk tier (set by Cache.AttachDisk before concurrent use; nil = none).
+	disk                 *diskCodec
+	diskHits, diskWrites atomic.Int64
 }
 
 // lock takes the shard mutex, counting acquisitions that had to block (the
@@ -167,6 +199,7 @@ type Cache struct {
 func New() *Cache {
 	c := &Cache{}
 	for i := range c.spaces {
+		c.spaces[i].id = Space(i)
 		for j := range c.spaces[i].shards {
 			c.spaces[i].shards[j].m = make(map[string]*entry)
 		}
@@ -210,6 +243,7 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 		sh.mu.Unlock()
 		if e.ok {
 			s.hits.Add(1)
+			s.touch(e)
 			return e.val
 		}
 	default: // in flight: register as waiter before releasing the lock, so
@@ -223,6 +257,7 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 		<-e.done
 		if e.ok {
 			s.hits.Add(1)
+			s.touch(e)
 			return e.val
 		}
 		if next := e.next; next != nil {
@@ -261,13 +296,33 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 }
 
 // runCompute executes compute as the owner of entry e and publishes the
-// result. A cacheable result stays in the map; an uncacheable one is
-// removed, handing the slot to exactly one blocked waiter (via a successor
-// entry) when any are registered.
+// result. With a disk tier attached, the tier is consulted first: a decoded
+// record is promoted into the memory tier without running compute. A
+// cacheable result stays in the map (subject to the byte cap — see retain);
+// an uncacheable one is removed, handing the slot to exactly one blocked
+// waiter (via a successor entry) when any are registered.
 func (s *space) runCompute(sh *shard, key string, e *entry, compute func() (any, bool)) any {
+	if dc := s.disk; dc != nil {
+		if b, ok := dc.tier.Get(s.id, key); ok {
+			if v, ok := dc.dec(b); ok {
+				s.diskHits.Add(1)
+				e.val, e.ok = v, true
+				s.retain(sh, key, e)
+				close(e.done)
+				return v
+			}
+		}
+	}
 	val, cacheable := compute()
 	e.val, e.ok = val, cacheable
-	if !cacheable {
+	if cacheable {
+		s.retain(sh, key, e)
+		if dc := s.disk; dc != nil {
+			if b, ok := dc.enc(val); ok && dc.tier.Put(s.id, key, b) {
+				s.diskWrites.Add(1)
+			}
+		}
+	} else {
 		s.lock(sh)
 		if e.waiters.Load() > 0 {
 			next := &entry{done: make(chan struct{})}
@@ -301,6 +356,12 @@ func (c *Cache) Stats(sp Space) Stats {
 		InflightWaits: s.waits.Load(),
 		Contended:     s.contended.Load(),
 		Entries:       n,
+		Evictions:     s.evictions.Load(),
+		BytesHeld:     s.bytesHeld.Load(),
+		CapBytes:      s.capBytes,
+		OversizeDrops: s.oversize.Load(),
+		DiskHits:      s.diskHits.Load(),
+		DiskWrites:    s.diskWrites.Load(),
 	}
 }
 
@@ -324,6 +385,14 @@ func (c *Cache) Publish(o *obs.Observer) {
 		o.Gauge(obs.Label("memo.inflight_waits", "space", name)).Set(st.InflightWaits)
 		o.Gauge(obs.Label("memo.contended", "space", name)).Set(st.Contended)
 		o.Gauge(obs.Label("memo.entries", "space", name)).Set(int64(st.Entries))
+		if st.CapBytes > 0 {
+			o.Gauge(obs.Label("memo.evictions", "space", name)).Set(st.Evictions)
+			o.Gauge(obs.Label("memo.bytes_held", "space", name)).Set(st.BytesHeld)
+		}
+		if st.DiskHits+st.DiskWrites > 0 {
+			o.Gauge(obs.Label("memo.disk_hits", "space", name)).Set(st.DiskHits)
+			o.Gauge(obs.Label("memo.disk_writes", "space", name)).Set(st.DiskWrites)
+		}
 	}
 }
 
@@ -348,8 +417,8 @@ func (c *Cache) StatsString() string {
 		return "(cache disabled)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %8s %8s\n",
-		"keyspace", "hits", "misses", "waits", "contended", "entries", "hit-rate")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %8s %8s %8s %10s\n",
+		"keyspace", "hits", "misses", "waits", "contended", "entries", "hit-rate", "evict", "bytes")
 	names := make([]string, 0, int(numSpaces))
 	for sp := Space(0); sp < numSpaces; sp++ {
 		names = append(names, sp.String())
@@ -363,8 +432,9 @@ func (c *Cache) StatsString() string {
 			}
 		}
 		st := c.Stats(sp)
-		fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %8d %7.1f%%\n",
-			name, st.Hits, st.Misses, st.InflightWaits, st.Contended, st.Entries, 100*st.HitRate())
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %8d %7.1f%% %8d %10d\n",
+			name, st.Hits, st.Misses, st.InflightWaits, st.Contended, st.Entries, 100*st.HitRate(),
+			st.Evictions, st.BytesHeld)
 	}
 	return b.String()
 }

@@ -252,6 +252,29 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		for i, sp := range spaces {
 			p.Gauge(obs.Label("memo.entries", "space", sp.String()), int64(stats[i].Entries))
 		}
+		for i, sp := range spaces {
+			p.Counter(obs.Label("memo.evictions", "space", sp.String()), stats[i].Evictions)
+		}
+		for i, sp := range spaces {
+			p.Gauge(obs.Label("memo.bytes_held", "space", sp.String()), stats[i].BytesHeld)
+		}
+		for i, sp := range spaces {
+			p.Counter(obs.Label("memo.disk_hits", "space", sp.String()), stats[i].DiskHits)
+		}
+		for i, sp := range spaces {
+			p.Counter(obs.Label("memo.disk_writes", "space", sp.String()), stats[i].DiskWrites)
+		}
+	}
+	if d := s.opts.Disk; d != nil {
+		ds := d.Stats()
+		p.Gauge("diskcache.records", int64(ds.Records))
+		p.Counter("diskcache.replayed", ds.Replayed)
+		p.Counter("diskcache.truncated_bytes", ds.Truncated)
+		p.Counter("diskcache.hits", ds.Hits)
+		p.Counter("diskcache.misses", ds.Misses)
+		p.Counter("diskcache.writes", ds.Writes)
+		p.Counter("diskcache.dropped", ds.Dropped)
+		p.Counter("diskcache.read_errors", ds.ReadErrs)
 	}
 
 	// The observer's memo.* gauges (published by demo runs) duplicate the

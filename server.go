@@ -3,6 +3,7 @@ package dtse
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -80,6 +81,20 @@ type ServeOptions struct {
 	// NoCache disables the session cache: every request recomputes.
 	// Responses are byte-identical either way.
 	NoCache bool
+	// CacheBytes caps each session-cache keyspace at this many bytes;
+	// entries beyond it are evicted CLOCK-wise. <= 0 leaves the cache
+	// unbounded (the pre-bound behaviour).
+	CacheBytes int64
+	// Disk is an optional disk-backed second cache tier (memo.OpenDiskTier):
+	// completed request responses are persisted write-behind and survive
+	// restarts, answered as disk-tier hits by a fresh process. The caller
+	// owns the tier and must Close it after shutdown. Ignored with NoCache.
+	Disk *memo.DiskTier
+	// NoWarmStart disables nearest-neighbour incumbent seeding: by default
+	// a spec exploration's branch-and-bound starts from the best cached
+	// neighbour assignment (re-priced, so completed results are unchanged —
+	// the search just starts with a tighter bound).
+	NoWarmStart bool
 	// FlightRecorder bounds the flight-recorder ring: the last N slow,
 	// degraded, or errored requests kept with their span trees and counter
 	// deltas for /debug/flightrecorder. 0 means 64; negative disables the
@@ -100,6 +115,7 @@ type Server struct {
 	memo    *memo.Cache
 	workers *pool.Pool
 	mux     *http.ServeMux
+	warm    *warmIndex // nearest-neighbour seeds; nil when disabled
 
 	// baseCtx parents every request context; Abort cancels it, degrading
 	// all in-flight explorations to their anytime best-effort results.
@@ -151,6 +167,40 @@ func NewServer(opts ServeOptions) *Server {
 	}
 	if !opts.NoCache {
 		s.memo = memo.New()
+		if opts.CacheBytes > 0 {
+			for sp := memo.Space(0); sp <= memo.Requests; sp++ {
+				s.memo.Bound(sp, opts.CacheBytes)
+			}
+		}
+		if opts.Disk != nil {
+			s.memo.AttachDisk(memo.Requests, opts.Disk, encodeServed, decodeServed)
+		}
+	}
+	if !opts.NoWarmStart {
+		s.warm = newWarmIndex()
+		if opts.Disk != nil {
+			// Restart semantics: warm starts survive the process — rebuild
+			// the neighbour index from the persisted responses, which carry
+			// each winning organization's group->memory bindings.
+			opts.Disk.Range(memo.Requests, func(key string, val []byte) bool {
+				canon, ok := canonOfKey(key)
+				if !ok {
+					return true
+				}
+				v, ok := decodeServed(val)
+				if !ok {
+					return true
+				}
+				var env exploreResponse
+				if json.Unmarshal(v.(*servedResponse).body, &env) != nil {
+					return true
+				}
+				if a := seedFromWire(env.Variant); a != nil {
+					s.warm.record(canon, a)
+				}
+				return true
+			})
+		}
 	}
 	// Opt-in duration histograms: wired here, at construction, before any
 	// concurrent use. Library callers that build their own cache/pool stay
@@ -249,6 +299,7 @@ type parsedRequest struct {
 	req   *exploreRequest
 	spec  *spec.Spec // spec mode only
 	key   string     // canonical dedup key (deadline excluded)
+	canon string     // canonical spec JSON (spec mode): the warm-start fingerprint
 	mode  string     // "spec" or "demo", for introspection
 	label string     // spec name or demo size, for introspection
 }
@@ -313,6 +364,7 @@ func parseExplore(body io.Reader) (*parsedRequest, error) {
 	}
 	p.key = fmt.Sprintf("spec|%d|%d|%d|%g|%t|%t|%s",
 		req.Budget, onchip, threshold, frame, inplace, interconnect, canon.String())
+	p.canon = canon.String()
 	p.mode = "spec"
 	p.label = sp.Name
 	return p, nil
@@ -352,10 +404,147 @@ func specParams(pr *paramsRequest) (onchip int, threshold int64, frame float64, 
 // status and body bytes of one deterministic response. degraded marks a
 // best-effort response computed under an expired deadline or abort; such
 // responses are never cached, so cached entries are never degraded.
+// volatile marks a completed response whose content still depends on
+// session history — a warm-started search that exhausted its node budget
+// returns the best incumbent, which the seed may have improved — so it,
+// too, is served once and never cached.
 type servedResponse struct {
 	status   int
 	body     []byte
 	degraded bool
+	volatile bool
+}
+
+// CacheBytes implements memo.Sized: the retained footprint of a cached
+// response is its body plus the struct.
+func (r *servedResponse) CacheBytes() int { return len(r.body) + 64 }
+
+// encodeServed/decodeServed are the Requests keyspace's disk codec:
+// [4B status][body]. Only clean 200s are persisted — degraded and volatile
+// responses never reach the encoder via the cacheability rule, but the
+// guard stands on its own.
+func encodeServed(v any) ([]byte, bool) {
+	r, ok := v.(*servedResponse)
+	if !ok || r.status != http.StatusOK || r.degraded || r.volatile {
+		return nil, false
+	}
+	b := make([]byte, 4+len(r.body))
+	binary.LittleEndian.PutUint32(b, uint32(r.status))
+	copy(b[4:], r.body)
+	return b, true
+}
+
+func decodeServed(b []byte) (any, bool) {
+	if len(b) < 4 || int(binary.LittleEndian.Uint32(b)) != http.StatusOK {
+		return nil, false
+	}
+	return &servedResponse{status: http.StatusOK, body: b[4:]}, true
+}
+
+// canonOfKey recovers the canonical spec JSON from a Requests dedup key
+// (its eighth |-separated field; the seven leading knob fields never
+// contain a pipe).
+func canonOfKey(key string) (string, bool) {
+	if !strings.HasPrefix(key, "spec|") {
+		return "", false
+	}
+	parts := strings.SplitN(key, "|", 8)
+	if len(parts) != 8 {
+		return "", false
+	}
+	return parts[7], true
+}
+
+// seedFromWire flattens a variant's on-chip bindings into the warm-start
+// seed form: group name -> memory slot.
+func seedFromWire(v *core.VariantWire) map[string]int {
+	if v == nil || len(v.OnChip) == 0 {
+		return nil
+	}
+	m := make(map[string]int)
+	for i := range v.OnChip {
+		for _, g := range v.OnChip[i].Groups {
+			m[g] = i
+		}
+	}
+	return m
+}
+
+// warmIndex maps canonical spec fingerprints to their best-known on-chip
+// assignment, for seeding the branch-and-bound of neighbouring requests.
+// Bounded FIFO (warmIndexCap entries): this is a hint store, not a cache —
+// a dropped or stale entry only costs the tighter initial bound, never
+// correctness, because every seed is re-priced on the problem it seeds.
+type warmIndex struct {
+	mu    sync.Mutex
+	seeds map[string]map[string]int
+	order []string
+}
+
+const (
+	warmIndexCap = 512
+	// warmMinPrefix is the minimum shared fingerprint prefix for a
+	// non-exact neighbour match. Purely an efficiency filter: an unrelated
+	// seed would be rejected (or strictly improve the incumbent) anyway.
+	warmMinPrefix = 8
+)
+
+func newWarmIndex() *warmIndex {
+	return &warmIndex{seeds: make(map[string]map[string]int)}
+}
+
+// record stores (or refreshes) the seed for one fingerprint. The assign
+// map is stored as-is and must never be mutated afterwards.
+func (wi *warmIndex) record(canon string, assign map[string]int) {
+	if wi == nil || canon == "" || len(assign) == 0 {
+		return
+	}
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	if _, ok := wi.seeds[canon]; !ok {
+		if len(wi.order) >= warmIndexCap {
+			delete(wi.seeds, wi.order[0])
+			wi.order = wi.order[1:]
+		}
+		wi.order = append(wi.order, canon)
+	}
+	wi.seeds[canon] = assign
+}
+
+// lookup returns the nearest neighbour's seed: the exact fingerprint when
+// recorded, else the recorded fingerprint sharing the longest common
+// prefix (earliest recorded wins ties, so the choice is deterministic for
+// a given index state). Nil when nothing is close enough.
+func (wi *warmIndex) lookup(canon string) map[string]int {
+	if wi == nil {
+		return nil
+	}
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	if a, ok := wi.seeds[canon]; ok {
+		return a
+	}
+	bestLen := warmMinPrefix - 1
+	var best map[string]int
+	for _, c := range wi.order {
+		if l := commonPrefixLen(c, canon); l > bestLen {
+			bestLen, best = l, wi.seeds[c]
+		}
+	}
+	return best
+}
+
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -510,7 +699,7 @@ func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span, prog
 	v := s.memo.Do(memo.Requests, p.key, func() (any, bool) {
 		hit = false
 		resp := s.explore(ctx, p, sp, prog)
-		cacheable := resp.status == http.StatusOK && ctx.Err() == nil
+		cacheable := resp.status == http.StatusOK && ctx.Err() == nil && !resp.volatile
 		return resp, cacheable
 	})
 	if hit {
@@ -536,6 +725,7 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, pr
 	ep.Progress = prog
 
 	env := &exploreResponse{}
+	volatile := false
 	if p.req.Demo != nil {
 		d := p.req.Demo
 		res, err := core.RunAllContext(ctx, core.DemoConfig{Size: d.Size, Seed: d.Seed, Quant: d.Quant}, ep)
@@ -560,11 +750,30 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, pr
 		ep.Assign.OnChipMaxWords = threshold
 		ep.Assign.InPlace = inplace
 		ep.OnChipCount = onchip
+		// Warm start: seed the branch-and-bound incumbent from the nearest
+		// cached neighbour. The seed is re-priced inside the search, so a
+		// completed exploration returns byte-identical results — only the
+		// initial bound tightens.
+		seeded := false
+		if s.warm != nil {
+			if seed := s.warm.lookup(p.canon); seed != nil {
+				ep.Assign.Seed = seed
+				seeded = true
+				s.obs.Counter("server.warm_seeds").Add(1)
+			}
+		}
 		v, err := core.EvaluateContext(ctx, p.spec, p.req.Budget, p.spec.Name, ep)
 		if err != nil {
 			return errResponse(http.StatusUnprocessableEntity, err)
 		}
 		env.Variant = v.Wire()
+		// A seeded search that was cut short (node budget) returns its best
+		// incumbent, which the seed may have improved — a valid anytime
+		// answer, but dependent on session history, so it must not be cached.
+		volatile = seeded && !env.Variant.Optimal
+		if s.warm != nil && ctx.Err() == nil {
+			s.warm.record(p.canon, seedFromWire(env.Variant))
+		}
 	}
 	body, err := json.Marshal(env)
 	if err != nil {
@@ -572,7 +781,7 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, pr
 	}
 	// Degraded mirrors the cacheability rule: a 200 computed under a dead
 	// context is the anytime best-effort answer, not the full exploration.
-	return &servedResponse{status: http.StatusOK, body: append(body, '\n'), degraded: ctx.Err() != nil}
+	return &servedResponse{status: http.StatusOK, body: append(body, '\n'), degraded: ctx.Err() != nil, volatile: volatile}
 }
 
 func errResponse(status int, err error) *servedResponse {
@@ -659,6 +868,7 @@ type metricsResponse struct {
 	Server serverMetrics         `json:"server"`
 	Obs    obs.Snapshot          `json:"obs"`
 	Memo   map[string]memo.Stats `json:"memo,omitempty"`
+	Disk   *memo.DiskStats       `json:"disk,omitempty"`
 }
 
 type serverMetrics struct {
@@ -718,6 +928,10 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		for _, sp := range []memo.Space{memo.Schedule, memo.LoopPatterns, memo.PrunedPatterns, memo.Ports, memo.Requests} {
 			m.Memo[sp.String()] = s.memo.Stats(sp)
 		}
+	}
+	if s.opts.Disk != nil {
+		ds := s.opts.Disk.Stats()
+		m.Disk = &ds
 	}
 	body, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

@@ -1,0 +1,152 @@
+package dtse
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/obs"
+)
+
+// randomWarmSpec builds a random pruned spec (JSON-serialized) with enough
+// groups and conflict structure that the assignment search is non-trivial,
+// plus a workable cycle budget. Deterministic per seed.
+func randomWarmSpec(t *testing.T, seed int64) ([]byte, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewSpec(fmt.Sprintf("warm%d", seed))
+	n := 5 + rng.Intn(4)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+		b.Group(names[i], int64(64<<uint(rng.Intn(5))), 2+2*rng.Intn(12))
+	}
+	b.Loop("l", uint64(20_000+rng.Intn(50_000)))
+	for _, name := range names {
+		b.Read(name, float64(1+rng.Intn(3)))
+		if rng.Intn(2) == 0 {
+			b.Write(name, float64(1+rng.Intn(2)))
+		}
+	}
+	s := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteSpecJSON(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), 2 * s.TotalAccesses()
+}
+
+// TestWarmStartMatchesCold is the server-level warm-start equivalence pin:
+// a warm server (its index seeded by earlier requests on neighbouring
+// budget points) must answer every request byte-identically to a cold
+// server (warm starts disabled) given the same request sequence — and the
+// telemetry must show that seeds actually flowed (server.warm_seeds) and
+// actually tightened an incumbent (assign.incumbent_seeded), so the test
+// cannot pass vacuously with the warm path dead.
+func TestWarmStartMatchesCold(t *testing.T) {
+	var warmSeeds, engaged int64
+	usable := 0
+	for seed := int64(0); seed < 6; seed++ {
+		specJSON, budget := randomWarmSpec(t, seed)
+		// Neighbouring budget points on the same spec: the canonical spec
+		// fingerprint matches exactly, so request 2 and 3 find request 1's
+		// organization in the warm index.
+		bodies := []string{
+			specBody(specJSON, budget, ""),
+			specBody(specJSON, budget*2, ""),
+			specBody(specJSON, budget+budget/2, `"params": {"onchip": 3}`),
+		}
+
+		coldObs, warmObs := obs.New(), obs.New()
+		cold := NewServer(ServeOptions{NoWarmStart: true, Obs: coldObs})
+		warm := NewServer(ServeOptions{Obs: warmObs})
+		tsCold := httptest.NewServer(cold.Handler())
+		tsWarm := httptest.NewServer(warm.Handler())
+
+		ok := true
+		for i, body := range bodies {
+			respC, bodyC := postExplore(t, tsCold, body)
+			respW, bodyW := postExplore(t, tsWarm, body)
+			if respC.StatusCode != respW.StatusCode {
+				t.Fatalf("seed %d req %d: status diverged cold=%d warm=%d", seed, i, respC.StatusCode, respW.StatusCode)
+			}
+			if respC.StatusCode != http.StatusOK {
+				ok = false // infeasible random instance: both servers agree, skip it
+				break
+			}
+			if !bytes.Equal(bodyC, bodyW) {
+				t.Fatalf("seed %d req %d: warmed response differs from cold\ncold: %s\nwarm: %s",
+					seed, i, bodyC, bodyW)
+			}
+		}
+		tsCold.Close()
+		tsWarm.Close()
+		if !ok {
+			continue
+		}
+		usable++
+		wc := warmObs.Counters()
+		warmSeeds += wc["server.warm_seeds"]
+		engaged += wc["assign.incumbent_seeded"]
+		if cc := coldObs.Counters(); cc["server.warm_seeds"] != 0 {
+			t.Fatalf("seed %d: NoWarmStart server still supplied %d seeds", seed, cc["server.warm_seeds"])
+		}
+	}
+	if usable == 0 {
+		t.Fatal("every random instance was infeasible; nothing was tested")
+	}
+	if warmSeeds == 0 {
+		t.Fatal("the warm index never supplied a seed to a later request")
+	}
+	if engaged == 0 {
+		t.Fatal("assign.incumbent_seeded never fired: no seed ever tightened an incumbent")
+	}
+}
+
+// TestWarmIndexRebuiltFromDisk: a server restarted over the same disk tier
+// re-seeds its warm index from the recovered responses — the first request
+// of the new process on a *neighbouring* budget point (a disk miss) still
+// gets a warm seed.
+func TestWarmIndexRebuiltFromDisk(t *testing.T) {
+	specJSON, budget := randomWarmSpec(t, 1)
+	dir := t.TempDir()
+
+	d1, err := memo.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(ServeOptions{Disk: d1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp, body := postExplore(t, ts1, specBody(specJSON, budget, ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("populate: status %d: %s", resp.StatusCode, body)
+	}
+	ts1.Close()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := memo.OpenDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	warmObs := obs.New()
+	srv2 := NewServer(ServeOptions{Disk: d2, Obs: warmObs})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	// A budget the daemon has never seen: no disk hit possible, but the spec
+	// fingerprint matches the rebuilt index entry.
+	resp2, body2 := postExplore(t, ts2, specBody(specJSON, budget*2, ""))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("neighbour: status %d: %s", resp2.StatusCode, body2)
+	}
+	if wc := warmObs.Counters(); wc["server.warm_seeds"] == 0 {
+		t.Fatalf("restarted server supplied no warm seed from the rebuilt index (%v)", wc)
+	}
+}
