@@ -13,6 +13,11 @@
 // cache's hit/miss counters, so the report shows how much of each sweep was
 // answered from the cache.
 //
+// -baseline embeds the previous report and annotates every matching result
+// with vs_baseline percent deltas (ns/op, allocs/op, bytes/op), so the
+// artifact states the regression or improvement directly instead of raw
+// values only.
+//
 // -cpus runs the full exploration once per listed width — GOMAXPROCS and
 // the session worker pool are both set to the width, mirroring `go test
 // -cpu` — and embeds the resulting scaling curve (ns/op and speedup versus
@@ -53,6 +58,19 @@ type Result struct {
 	// Cache is the session cache accounting of the last iteration (cached
 	// variants only).
 	Cache map[string]CacheStats `json:"cache,omitempty"`
+	// VsBaseline is the percent change of each measurement against the
+	// same-named benchmark of the embedded baseline report (negative =
+	// improvement). Present only when -baseline was given and the baseline
+	// has a matching result.
+	VsBaseline *Delta `json:"vs_baseline,omitempty"`
+}
+
+// Delta is a set of percent changes versus the baseline, each computed as
+// 100*(new-old)/old.
+type Delta struct {
+	NsPct     float64 `json:"ns_per_op_pct"`
+	AllocsPct float64 `json:"allocs_per_op_pct"`
+	BytesPct  float64 `json:"bytes_per_op_pct"`
 }
 
 // CacheStats mirrors memo.Stats for the JSON report.
@@ -204,6 +222,39 @@ func distributeBench(size int) (testing.BenchmarkResult, map[string]float64, map
 	return r, metrics, nil, innerErr
 }
 
+// pctChange returns the percent change from old to new; zero when old is
+// zero (no meaningful ratio to report).
+func pctChange(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}
+
+// attachDeltas fills each result's vs_baseline percent changes from the
+// same-named benchmark of the embedded baseline, so the artifact reports
+// the regression/improvement directly instead of raw values only.
+func attachDeltas(rep *Report) {
+	if rep.Baseline == nil {
+		return
+	}
+	byName := make(map[string]Result, len(rep.Baseline.Results))
+	for _, r := range rep.Baseline.Results {
+		byName[r.Name] = r
+	}
+	for i := range rep.Results {
+		old, ok := byName[rep.Results[i].Name]
+		if !ok {
+			continue
+		}
+		rep.Results[i].VsBaseline = &Delta{
+			NsPct:     pctChange(old.NsPerOp, rep.Results[i].NsPerOp),
+			AllocsPct: pctChange(old.AllocsPerOp, rep.Results[i].AllocsPerOp),
+			BytesPct:  pctChange(old.BytesPerOp, rep.Results[i].BytesPerOp),
+		}
+	}
+}
+
 // parseCPUList parses the -cpus value, a comma-separated list of widths
 // like "1,2,4,8". An empty string means no scaling sweep.
 func parseCPUList(s string) ([]int, error) {
@@ -353,6 +404,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Scaling = pts
+	}
+
+	attachDeltas(&rep)
+	for _, r := range rep.Results {
+		if d := r.VsBaseline; d != nil {
+			fmt.Fprintf(stderr, "  %s vs baseline: ns/op %+.1f%%, allocs/op %+.1f%%, bytes/op %+.1f%%\n",
+				r.Name, d.NsPct, d.AllocsPct, d.BytesPct)
+		}
 	}
 
 	w := stdout

@@ -87,6 +87,21 @@ func TestRunBaseline(t *testing.T) {
 	if rep.Baseline.Baseline != nil {
 		t.Fatal("baseline history not trimmed to one level")
 	}
+	if len(rep.Results) != 1 || rep.Results[0].VsBaseline == nil {
+		t.Fatalf("results missing vs_baseline deltas: %+v", rep.Results)
+	}
+	d := rep.Results[0].VsBaseline
+	wantNs := 100 * float64(rep.Results[0].NsPerOp-123456) / 123456
+	if d.NsPct != wantNs {
+		t.Errorf("ns delta = %v, want %v", d.NsPct, wantNs)
+	}
+	// The synthetic baseline had zero allocs/bytes: no meaningful ratio.
+	if d.AllocsPct != 0 || d.BytesPct != 0 {
+		t.Errorf("zero-baseline deltas = %+v, want 0", d)
+	}
+	if !strings.Contains(stderr.String(), "vs baseline:") {
+		t.Errorf("stderr missing delta line:\n%s", stderr.String())
+	}
 
 	for _, bad := range [][]string{
 		{"-bench", "^Distribute$", "-baseline", filepath.Join(t.TempDir(), "missing.json")},
@@ -104,6 +119,33 @@ func TestRunBaseline(t *testing.T) {
 	var so, se bytes.Buffer
 	if code := run([]string{"-bench", "^Distribute$", "-baseline", garbled}, &so, &se); code != 1 {
 		t.Errorf("garbled baseline: run = %d, want 1 (stderr: %s)", code, se.String())
+	}
+}
+
+// TestAttachDeltas: percent deltas attach only to results the baseline
+// also measured, computed as 100*(new-old)/old per measurement.
+func TestAttachDeltas(t *testing.T) {
+	rep := Report{
+		Results: []Result{
+			{Name: "Explore", NsPerOp: 150, AllocsPerOp: 50, BytesPerOp: 300},
+			{Name: "NewBench", NsPerOp: 10},
+		},
+		Baseline: &Report{Results: []Result{
+			{Name: "Explore", NsPerOp: 100, AllocsPerOp: 200, BytesPerOp: 400},
+		}},
+	}
+	attachDeltas(&rep)
+	d := rep.Results[0].VsBaseline
+	if d == nil || d.NsPct != 50 || d.AllocsPct != -75 || d.BytesPct != -25 {
+		t.Fatalf("Explore deltas = %+v, want +50/-75/-25", d)
+	}
+	if rep.Results[1].VsBaseline != nil {
+		t.Fatalf("NewBench has no baseline counterpart, got %+v", rep.Results[1].VsBaseline)
+	}
+	noBase := Report{Results: []Result{{Name: "Explore", NsPerOp: 1}}}
+	attachDeltas(&noBase)
+	if noBase.Results[0].VsBaseline != nil {
+		t.Fatal("deltas attached without a baseline")
 	}
 }
 

@@ -25,6 +25,10 @@
 //	                  with Accept: text/event-stream the exploration is
 //	                  streamed as SSE progress events (GET with ?request=
 //	                  serves EventSource clients)
+//	POST /v1/explore/batch  {"items": [<explore request>, ...]}: up to 64
+//	                  explore requests under one admission slot, sharing the
+//	                  session cache and worker pool; the response carries a
+//	                  per-item status/degraded/trace-id/body array
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text exposition (request/stage latency
 //	                  histograms, counters, per-keyspace cache stats);

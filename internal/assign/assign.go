@@ -151,20 +151,36 @@ func buildProblem(s *spec.Spec, groups []spec.BasicGroup, pats []sbd.Pattern, te
 		lifetimes = inplace.Lifetimes(s)
 		pr.life = make([]inplace.Interval, len(groups))
 	}
+	// One flat multiplicity matrix plus one flat nonzero store back every
+	// group's columns: three allocations total instead of three per group.
+	vecs := make([]int, len(groups)*len(pats))
+	nz := 0
 	for gi, g := range groups {
 		pr.acc[gi] = s.AccessesPerFrame(g.Name)
-		vec := make([]int, len(pats))
+		vec := vecs[gi*len(pats) : (gi+1)*len(pats) : (gi+1)*len(pats)]
 		for pi, pt := range pats {
 			vec[pi] = pt.Access[g.Name]
 			if vec[pi] != 0 {
-				pr.patIdx[gi] = append(pr.patIdx[gi], pi)
-				pr.patVal[gi] = append(pr.patVal[gi], vec[pi])
+				nz++
 			}
 		}
 		pr.patVec[gi] = vec
 		if p.InPlace {
 			pr.life[gi] = lifetimes[g.Name]
 		}
+	}
+	idxBuf := make([]int, 0, nz)
+	valBuf := make([]int, 0, nz)
+	for gi := range groups {
+		start := len(idxBuf)
+		for pi, v := range pr.patVec[gi] {
+			if v != 0 {
+				idxBuf = append(idxBuf, pi)
+				valBuf = append(valBuf, v)
+			}
+		}
+		pr.patIdx[gi] = idxBuf[start:len(idxBuf):len(idxBuf)]
+		pr.patVal[gi] = valBuf[start:len(valBuf):len(valBuf)]
 	}
 	return pr
 }
@@ -190,6 +206,39 @@ type memState struct {
 	ports   int
 	nGroups int
 	live    []int64 // per-loop live words (in-place mode only)
+}
+
+// reset clears the aggregate for reuse, keeping the vec/live backing — the
+// allocation-free counterpart of `*m = memState{}` for states handed out by
+// newMemStates.
+func (m *memState) reset() {
+	clear(m.vec)
+	clear(m.live)
+	m.words, m.bits, m.ports, m.acc, m.nGroups = 0, 0, 0, 0, 0
+}
+
+// newMemStates allocates the per-search memory aggregates as one block —
+// a single memState array, one flat multiplicity matrix and (in in-place
+// mode) one flat live-words matrix — instead of two to three heap objects
+// per memory per restart. Callers reuse the states across restarts via
+// reset; the full slice expressions keep neighbouring rows from bleeding
+// into each other under append.
+func newMemStates(pr *problem, maxMem int) []*memState {
+	mems := make([]*memState, maxMem)
+	states := make([]memState, maxMem)
+	vecs := make([]int, maxMem*pr.nPat)
+	var lives []int64
+	if pr.p.InPlace {
+		lives = make([]int64, maxMem*pr.nLoops)
+	}
+	for i := range mems {
+		states[i].vec = vecs[i*pr.nPat : (i+1)*pr.nPat : (i+1)*pr.nPat]
+		if lives != nil {
+			states[i].live = lives[i*pr.nLoops : (i+1)*pr.nLoops : (i+1)*pr.nLoops]
+		}
+		mems[i] = &states[i]
+	}
+	return mems
 }
 
 // memUndo captures the scalar fields of a memState before one push. The
@@ -272,7 +321,7 @@ func (m *memState) add(pr *problem, gi int) { m.push(pr, gi) }
 // recompute rebuilds the aggregate from scratch for the given member set
 // (used on removal; simpler and safe for the small sizes involved).
 func (m *memState) recompute(pr *problem, members []int) {
-	*m = memState{}
+	m.reset()
 	for _, gi := range members {
 		m.add(pr, gi)
 	}
@@ -495,8 +544,8 @@ func (pr *problem) partitionPower(assignTo []int, used int) (parts [][]int, tota
 	for gi, m := range assignTo {
 		parts[m] = append(parts[m], gi)
 	}
+	var st memState
 	for _, members := range parts {
-		var st memState
 		st.recompute(pr, members)
 		pw, err := pr.offChipCost(&st)
 		if err != nil {
@@ -618,10 +667,7 @@ func (pr *problem) bbPrecompute() bbPre {
 // this one function, so the baseline cost is bitwise identical.
 func greedyIncumbent(pr *problem, maxMem int, pre *bbPre) (assign []int, cost float64, ok bool) {
 	n := len(pr.groups)
-	mems := make([]*memState, maxMem)
-	for i := range mems {
-		mems[i] = &memState{vec: make([]int, pr.nPat)}
-	}
+	mems := newMemStates(pr, maxMem)
 	memCost := make([]float64, maxMem)
 	var curCost float64
 	emptyCnt := maxMem
@@ -705,10 +751,7 @@ func seedIncumbent(pr *problem, maxMem int, pre *bbPre) (assign []int, cost floa
 	if len(renum) != maxMem {
 		return nil, 0, false
 	}
-	mems := make([]*memState, maxMem)
-	for i := range mems {
-		mems[i] = &memState{vec: make([]int, pr.nPat)}
-	}
+	mems := newMemStates(pr, maxMem)
 	memCost := make([]float64, maxMem)
 	var curCost float64
 	for _, gi := range pre.order {
@@ -754,10 +797,13 @@ func branchAndBound(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) 
 	prog := pr.p.Progress
 	prog.SetBound(lbTail[0] + float64(maxMem)*pre.emptyTerm)
 
-	mems := make([]*memState, maxMem)
+	mems := newMemStates(pr, maxMem)
+	// members[m] grows one entry per descent level; total membership never
+	// exceeds n, so one flat n-per-memory backing absorbs every append.
 	members := make([][]int, maxMem)
-	for i := range mems {
-		mems[i] = &memState{vec: make([]int, pr.nPat)}
+	memberBuf := make([]int, maxMem*n)
+	for i := range members {
+		members[i] = memberBuf[i*n : i*n : (i+1)*n]
 	}
 	memCost := make([]float64, maxMem) // area+power of each memory
 	var curCost float64
@@ -924,14 +970,14 @@ func materializeOnChip(pr *problem, maxMem int, bestAssign []int) ([]Binding, fl
 	for gi, m := range bestAssign {
 		finalMembers[m] = append(finalMembers[m], gi)
 	}
-	var binds []Binding
+	binds := make([]Binding, 0, maxMem)
 	var totalArea, totalPower float64
+	var st memState
 	idx := 0
 	for m := 0; m < maxMem; m++ {
 		if len(finalMembers[m]) == 0 {
 			continue
 		}
-		var st memState
 		st.recompute(pr, finalMembers[m])
 		area, power, err := pr.onChipCost(&st)
 		if err != nil {

@@ -116,11 +116,10 @@ func (sh *bbShared) tighten(c float64) {
 // lower-bound rules the sequential dfs applies, with bound (the greedy
 // incumbent) as the pruning incumbent. Prefixes come out in canonical DFS
 // order; visited counts the nodes expanded.
-func bbPrefixes(pr *problem, maxMem, k int, pre *bbPre, bound float64) (prefixes [][]int16, visited int) {
+func bbPrefixes(pr *problem, maxMem, k int, pre *bbPre, bound float64, mems []*memState) (prefixes [][]int16, visited int) {
 	n := len(pr.groups)
-	mems := make([]*memState, maxMem)
 	for i := range mems {
-		mems[i] = &memState{vec: make([]int, pr.nPat)}
+		mems[i].reset()
 	}
 	memCost := make([]float64, maxMem)
 	var curCost float64
@@ -179,8 +178,9 @@ func chooseSplit(pr *problem, maxMem int, pre *bbPre, bound float64, workers int
 	if target > maxSubproblems {
 		target = maxSubproblems
 	}
+	mems := newMemStates(pr, maxMem)
 	for k := 1; k <= n-1; k++ {
-		p, v := bbPrefixes(pr, maxMem, k, pre, bound)
+		p, v := bbPrefixes(pr, maxMem, k, pre, bound, mems)
 		visited += v
 		prefixes, depth = p, k
 		if len(p) == 0 || len(p) >= target {
@@ -229,7 +229,7 @@ func newBBWorker(pr *problem, pre *bbPre, sh *bbShared, maxMem int, seed float64
 		budget:     int64(pr.p.NodeBudget),
 		done:       done,
 		prog:       pr.p.Progress,
-		mems:       make([]*memState, maxMem),
+		mems:       newMemStates(pr, maxMem),
 		memCost:    make([]float64, maxMem),
 		curAssign:  make([]int, n),
 		bestCost:   seed,
@@ -260,7 +260,7 @@ func (w *bbWorker) run(prefixes [][]int16) {
 // curCost at the same node.
 func (w *bbWorker) solve(idx int, prefix []int16) {
 	for i := range w.mems {
-		w.mems[i] = &memState{vec: make([]int, w.pr.nPat)}
+		w.mems[i].reset()
 		w.memCost[i] = 0
 	}
 	w.curCost = 0

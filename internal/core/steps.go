@@ -205,7 +205,7 @@ func ExploreStructuring(d *Demonstrator, ep EvalParams) ([]*Variant, error) {
 func ExploreStructuringContext(ctx context.Context, d *Demonstrator, ep EvalParams) ([]*Variant, error) {
 	sp, ep := ep.startSpan("step.structuring")
 	defer sp.End()
-	var out []*Variant
+	out := make([]*Variant, 0, 3)
 	v, err := EvaluateContext(ctx, d.Spec, d.CycleBudget, "No structuring", ep)
 	if err != nil {
 		return nil, err
@@ -375,8 +375,8 @@ func budgetSweep(ctx context.Context, s *spec.Spec, fullBudget uint64, fracs []f
 		}
 		variants[i] = v
 	})
-	var out []*BudgetPoint
-	seenUsed := make(map[uint64]bool)
+	out := make([]*BudgetPoint, 0, len(fracs))
+	seenUsed := make(map[uint64]bool, len(fracs))
 	for i, v := range variants {
 		if v == nil || seenUsed[v.Dist.Used] {
 			continue // infeasible, or same committed schedule: identical row
@@ -437,8 +437,8 @@ func ExploreAllocationsContext(ctx context.Context, s *spec.Spec, dist *sbd.Dist
 			asgns[i] = a
 		}
 	})
-	var out []*Variant
-	var okCounts []int
+	out := make([]*Variant, 0, len(counts))
+	okCounts := make([]int, 0, len(counts))
 	for i, a := range asgns {
 		if a == nil {
 			continue
@@ -470,7 +470,7 @@ type MACPReport struct {
 
 // AnalyzeMACP computes the critical-path report for a specification.
 func AnalyzeMACP(s *spec.Spec, budget uint64, ep EvalParams) MACPReport {
-	groups := make(map[string]spec.BasicGroup)
+	groups := make(map[string]spec.BasicGroup, len(s.Groups))
 	for _, g := range s.Groups {
 		groups[g.Name] = g
 	}

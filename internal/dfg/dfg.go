@@ -12,35 +12,69 @@ package dfg
 import (
 	"fmt"
 
+	"repro/internal/scratch"
 	"repro/internal/spec"
 )
 
 // TopoOrder returns the access IDs of l in a topological order of the
 // dependence DAG. The spec is assumed validated (acyclic).
 func TopoOrder(l *spec.Loop) []int {
+	return TopoOrderScratch(l, nil)
+}
+
+// TopoOrderScratch is TopoOrder with all working state (and the returned
+// order itself) carved from the arena, so the budget-distribution inner
+// loop — which re-derives orders constantly — allocates nothing. The
+// returned slice is only valid until the arena is reset; pass a nil arena
+// for plain heap allocation. The successor lists are built in flat CSR form
+// (one edge array plus offsets) instead of per-node slices.
+func TopoOrderScratch(l *spec.Loop, a *scratch.Arena) []int {
 	n := len(l.Accesses)
-	indeg := make([]int, n)
-	succ := make([][]int, n)
-	for _, a := range l.Accesses {
-		for _, d := range a.Deps {
-			succ[d] = append(succ[d], a.ID)
-			indeg[a.ID]++
+	edges := 0
+	for i := range l.Accesses {
+		edges += len(l.Accesses[i].Deps)
+	}
+	indeg := a.Ints(n)
+	off := a.Ints(n + 1)
+	flat := a.Ints(edges)
+	cur := a.Ints(n)
+	for i := range l.Accesses {
+		for _, d := range l.Accesses[i].Deps {
+			cur[d]++
 		}
 	}
-	order := make([]int, 0, n)
-	queue := make([]int, 0, n)
+	sum := 0
+	for i := 0; i < n; i++ {
+		off[i] = sum
+		sum += cur[i]
+		cur[i] = off[i]
+	}
+	off[n] = sum
+	for i := range l.Accesses {
+		id := l.Accesses[i].ID
+		for _, d := range l.Accesses[i].Deps {
+			flat[cur[d]] = id
+			cur[d]++
+			indeg[id]++
+		}
+	}
+	order := a.Ints(n)[:0]
+	queue := a.Ints(n)
+	head, tail := 0, 0
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			queue = append(queue, i)
+			queue[tail] = i
+			tail++
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head < tail {
+		v := queue[head]
+		head++
 		order = append(order, v)
-		for _, s := range succ[v] {
+		for _, s := range flat[off[v]:off[v+1]] {
 			if indeg[s]--; indeg[s] == 0 {
-				queue = append(queue, s)
+				queue[tail] = s
+				tail++
 			}
 		}
 	}
@@ -57,9 +91,11 @@ func CriticalPath(l *spec.Loop) int {
 	if len(l.Accesses) == 0 {
 		return 0
 	}
-	depth := make([]int, len(l.Accesses))
+	a := scratch.Get()
+	defer scratch.Put(a)
+	depth := a.Ints(len(l.Accesses))
 	longest := 0
-	for _, id := range TopoOrder(l) {
+	for _, id := range TopoOrderScratch(l, a) {
 		d := 1
 		for _, dep := range l.Accesses[id].Deps {
 			if depth[dep]+1 > d {

@@ -189,6 +189,21 @@ func (s *space) shardFor(key string) *shard {
 	return &s.shards[h&(shardCount-1)]
 }
 
+// shardForBytes is shardFor over the byte form of a key: identical hash, so
+// Do and DoKey with equal key bytes land on the same shard.
+func (s *space) shardForBytes(key []byte) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(shardCount-1)]
+}
+
 // Cache is one exploration session's memoization state. Values stored in
 // the cache are shared between callers and must be treated as immutable.
 type Cache struct {
@@ -252,7 +267,60 @@ func (c *Cache) Do(sp Space, key string, compute func() (val any, cacheable bool
 		sh.mu.Unlock()
 		s.waits.Add(1)
 	}
+	return s.doSlow(sh, key, e, compute)
+}
 
+// DoKey is Do with the key passed as bytes. The evaluation hot paths build
+// their canonical fingerprints into reusable scratch buffers; DoKey answers
+// a hit without ever materializing a string (the m[string(key)] lookup is
+// the compiler-recognized no-allocation form), and copies the bytes into a
+// map key only when an entry must be created. Key bytes are not retained:
+// the caller may reuse the buffer as soon as DoKey returns. Do and DoKey
+// with equal key bytes address the same entry.
+//
+// Safe on a nil Cache, like Do.
+func (c *Cache) DoKey(sp Space, key []byte, compute func() (val any, cacheable bool)) any {
+	if c == nil {
+		v, _ := compute()
+		return v
+	}
+	s := &c.spaces[sp]
+	if h := s.hist; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
+	}
+	sh := s.shardForBytes(key)
+
+	s.lock(sh)
+	e, found := sh.m[string(key)]
+	if !found {
+		e = &entry{done: make(chan struct{})}
+		ks := string(key)
+		sh.m[ks] = e
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return s.runCompute(sh, ks, e, compute)
+	}
+	select {
+	case <-e.done:
+		sh.mu.Unlock()
+		if e.ok {
+			s.hits.Add(1)
+			s.touch(e)
+			return e.val
+		}
+	default:
+		e.waiters.Add(1)
+		sh.mu.Unlock()
+		s.waits.Add(1)
+	}
+	return s.doSlow(sh, string(key), e, compute)
+}
+
+// doSlow resolves a Do call that could not be answered from the fast path:
+// e is either finished-but-uncacheable (walk its successor chain) or in
+// flight with this caller registered as a waiter.
+func (s *space) doSlow(sh *shard, key string, e *entry, compute func() (val any, cacheable bool)) any {
 	for {
 		<-e.done
 		if e.ok {

@@ -124,6 +124,15 @@ func (p *Prom) Gauge(name string, v int64) {
 	p.printf("%s%s %d\n", fam, brace(labels), v)
 }
 
+// GaugeF writes one float gauge sample under family <ns>_<base>, in the
+// shortest exact form (the runtime pause gauges are fractional seconds).
+func (p *Prom) GaugeF(name string, v float64) {
+	base, labels := splitName(name)
+	fam := p.ns + "_" + promName(base)
+	p.family(fam, "gauge")
+	p.printf("%s%s %s\n", fam, brace(labels), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
 // Histogram writes one histogram series under family <ns>_<base>_seconds,
 // with any Label braces on the name becoming series labels.
 func (p *Prom) Histogram(name string, s HistogramSnapshot) {

@@ -93,6 +93,13 @@ func (p *Pool) ForEach(ctx context.Context, n int, f func(i int)) {
 			h.Observe(time.Since(start))
 		}
 	}
+	if n == 1 {
+		// Single item: both branches below would run f(0) unconditionally on
+		// the caller (item 0 is never gated on ctx), so skip the WaitGroup and
+		// slot machinery entirely.
+		f(0)
+		return
+	}
 	if p == nil {
 		for i := 0; i < n; i++ {
 			if i > 0 && done != nil {

@@ -31,11 +31,11 @@ import (
 	"math"
 	"sort"
 	"strconv"
-	"strings"
 
 	"repro/internal/dfg"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/scratch"
 	"repro/internal/spec"
 )
 
@@ -140,19 +140,41 @@ type Pattern struct {
 
 // key returns a canonical identity for merging.
 func (pt Pattern) key() string {
-	names := make([]string, 0, len(pt.Access))
-	for n := range pt.Access {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&b, "%s:%d;", n, pt.Access[n])
-	}
-	return b.String()
+	k, _ := appendPatternKey(nil, pt.Access, nil)
+	return string(k)
 }
 
-// loopFingerprint returns a canonical identity of everything a loop's
+// sortStrings is an in-place insertion sort. The hot key builders sort a
+// handful of group names per call; sort.Strings would box the slice into an
+// interface and allocate on every call, which this avoids.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// appendPatternKey appends the canonical identity of an access multiset
+// ("name:count;" in sorted name order) to dst. names is a reusable scratch
+// slice for the sort; both are returned grown so callers can recycle their
+// backing across calls.
+func appendPatternKey(dst []byte, acc map[string]int, names []string) ([]byte, []string) {
+	names = names[:0]
+	for n := range acc {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		dst = append(dst, n...)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(acc[n]), 10)
+		dst = append(dst, ';')
+	}
+	return dst, names
+}
+
+// appendLoopFingerprint appends a canonical identity of everything a loop's
 // balanced schedule depends on: the loop name and iteration count, the
 // access structure in slice order (ID, group, branch, dependences), the
 // cost-relevant properties of every referenced group (words, bits, and the
@@ -163,54 +185,101 @@ func (pt Pattern) key() string {
 // itself is deliberately absent: it only acts through the per-group
 // classification, so budget points that move the threshold without
 // reclassifying any referenced group still hit.
-func loopFingerprint(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%q it=%d oc=%d ps=%d sw=%g pl=%t",
-		l.Name, l.Iterations, p.OffChipCycles, p.Passes, p.StructuralWeight, p.Pipelined)
-	seen := make(map[string]bool, 8)
-	var names []string
+//
+// The byte layout reproduces the historical fmt-based format exactly, so
+// disk-tier caches written by earlier builds stay addressable. names is a
+// reusable scratch slice (returned grown, like dst).
+func appendLoopFingerprint(dst []byte, l *spec.Loop, groups map[string]spec.BasicGroup, p Params, names []string) ([]byte, []string) {
+	dst = strconv.AppendQuote(dst, l.Name)
+	dst = append(dst, " it="...)
+	dst = strconv.AppendUint(dst, l.Iterations, 10)
+	dst = append(dst, " oc="...)
+	dst = strconv.AppendInt(dst, int64(p.OffChipCycles), 10)
+	dst = append(dst, " ps="...)
+	dst = strconv.AppendInt(dst, int64(p.Passes), 10)
+	dst = append(dst, " sw="...)
+	dst = strconv.AppendFloat(dst, p.StructuralWeight, 'g', -1, 64)
+	dst = append(dst, " pl="...)
+	dst = strconv.AppendBool(dst, p.Pipelined)
+	names = names[:0]
 	for i := range l.Accesses {
 		a := &l.Accesses[i]
-		if !seen[a.Group] {
-			seen[a.Group] = true
+		known := false
+		for _, n := range names {
+			if n == a.Group {
+				known = true
+				break
+			}
+		}
+		if !known {
 			names = append(names, a.Group)
 		}
-		fmt.Fprintf(&b, "|%d:%q;%q;%v", a.ID, a.Group, a.Branch, a.Deps)
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, int64(a.ID), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendQuote(dst, a.Group)
+		dst = append(dst, ';')
+		dst = strconv.AppendQuote(dst, a.Branch)
+		dst = append(dst, ';')
+		dst = append(dst, '[') // %v of []int
+		for j, d := range a.Deps {
+			if j > 0 {
+				dst = append(dst, ' ')
+			}
+			dst = strconv.AppendInt(dst, int64(d), 10)
+		}
+		dst = append(dst, ']')
 	}
 	for _, n := range names {
 		g := groups[n]
-		fmt.Fprintf(&b, "|g%d,%d,%t", g.Words, g.Bits, p.offChip(g))
+		dst = append(dst, "|g"...)
+		dst = strconv.AppendInt(dst, g.Words, 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(g.Bits), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendBool(dst, p.offChip(g))
 	}
-	return b.String()
+	return dst, names
 }
 
-// startsKey canonically encodes a schedule's start cycles. It makes the
+// loopFingerprint is the string form of appendLoopFingerprint, for callers
+// off the hot path.
+func loopFingerprint(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) string {
+	b, _ := appendLoopFingerprint(nil, l, groups, p, nil)
+	return string(b)
+}
+
+// appendStarts canonically encodes a schedule's start cycles. It makes the
 // pattern-derivation keyspace safe for hand-built schedules too: the cache
 // key then pins the exact schedule, not just the problem that produced it.
-func startsKey(start []int) string {
-	var b strings.Builder
+func appendStarts(dst []byte, start []int) []byte {
 	for _, v := range start {
-		b.WriteString(strconv.Itoa(v))
-		b.WriteByte(',')
+		dst = strconv.AppendInt(dst, int64(v), 10)
+		dst = append(dst, ',')
 	}
-	return b.String()
+	return dst
 }
 
-// FingerprintPatterns returns a canonical identity of a conflict-pattern
+// appendPatternsFP appends a canonical identity of a conflict-pattern
 // sequence: every pattern's sorted access multiset plus its weight, in
 // sequence order (PatternsOf emits patterns in canonical sorted order, so
 // pipeline-produced sets are order-stable; keeping the order in the
 // fingerprint makes the cached result byte-identical to the uncached one
 // even for callers that pass patterns in a different order).
-func FingerprintPatterns(pats []Pattern) string {
-	var b strings.Builder
+func appendPatternsFP(dst []byte, pats []Pattern, names []string) ([]byte, []string) {
 	for i := range pats {
-		b.WriteString(pats[i].key())
-		b.WriteByte('@')
-		b.WriteString(strconv.FormatUint(pats[i].Weight, 10))
-		b.WriteByte('|')
+		dst, names = appendPatternKey(dst, pats[i].Access, names)
+		dst = append(dst, '@')
+		dst = strconv.AppendUint(dst, pats[i].Weight, 10)
+		dst = append(dst, '|')
 	}
-	return b.String()
+	return dst, names
+}
+
+// FingerprintPatterns is the string form of appendPatternsFP.
+func FingerprintPatterns(pats []Pattern) string {
+	b, _ := appendPatternsFP(nil, pats, nil)
+	return string(b)
 }
 
 // StructuralWeight converts a schedule's structural conflict severity (the
@@ -249,67 +318,6 @@ func groupsOf(s *spec.Spec) map[string]spec.BasicGroup {
 	return m
 }
 
-// cycleOcc is the occupancy of one storage cycle, split by conditional
-// branch: accesses under different branch tags are mutually exclusive, so a
-// cycle's effective access pattern is the common part plus one branch.
-type cycleOcc struct {
-	common map[string]int            // unconditional accesses
-	branch map[string]map[string]int // branch tag -> accesses
-}
-
-func newCycleOcc() *cycleOcc {
-	return &cycleOcc{common: make(map[string]int)}
-}
-
-func (o *cycleOcc) bucket(branch string) map[string]int {
-	if branch == "" {
-		return o.common
-	}
-	if o.branch == nil {
-		o.branch = make(map[string]map[string]int)
-	}
-	m := o.branch[branch]
-	if m == nil {
-		m = make(map[string]int)
-		o.branch[branch] = m
-	}
-	return m
-}
-
-// scenarios calls fn with every effective access pattern of the cycle:
-// common-only when no branch is active, otherwise common ⊎ each branch
-// (the common-only pattern is pointwise-dominated by those).
-func (o *cycleOcc) scenarios(fn func(m map[string]int)) {
-	active := 0
-	for _, m := range o.branch {
-		if len(m) > 0 {
-			active++
-		}
-	}
-	if active == 0 {
-		if len(o.common) > 0 {
-			fn(o.common)
-		}
-		return
-	}
-	merged := make(map[string]int, len(o.common)+4)
-	for _, bm := range o.branch {
-		if len(bm) == 0 {
-			continue
-		}
-		for g := range merged {
-			delete(merged, g)
-		}
-		for g, k := range o.common {
-			merged[g] = k
-		}
-		for g, k := range bm {
-			merged[g] += k
-		}
-		fn(merged)
-	}
-}
-
 // scheduler is the working state for balancing one loop body. In linear
 // mode the occupancy table spans the budget; in pipelined (modulo) mode it
 // spans one initiation interval and accesses wrap around it.
@@ -319,83 +327,133 @@ func (o *cycleOcc) scenarios(fn func(m map[string]int)) {
 // loop's distinct groups and branch tags are enumerated once at
 // construction, the occupancy table is a flat counter array indexed by
 // (cycle, branch, group), and the conflict penalties are precomputed into
-// per-group and pairwise tables. No map is touched while scheduling.
+// per-group and pairwise tables. No map is touched while scheduling — not
+// even at construction: group and branch tags resolve by linear scan over
+// the (few) distinct names, and all dense working state is carved from a
+// pooled scratch arena, so building and discarding a scheduler allocates
+// only the start slice that outlives it in the returned LoopSchedule.
 type scheduler struct {
 	l      *spec.Loop
 	groups map[string]spec.BasicGroup
 	p      Params
+	ar     *scratch.Arena
 	budget int   // linear budget, or the initiation interval when pipelined
 	dur    []int // per access
-	start  []int // per access, -1 = unplaced
-	succ   [][]int
+	start  []int // per access, -1 = unplaced (heap: escapes via LoopSchedule)
+	order  []int // one topological order, shared by windows and placement
 	cost   float64
 
-	ng, nb     int         // distinct groups / branch tags (slot 0 = common)
-	gnames     []string    // gid -> group name, in first-appearance order
-	gid, bid   []int       // per access -> group / branch index
-	self       []float64   // per gid: same-group overlap penalty
-	structW    []float64   // per gid: self[gid] × StructuralWeight
-	pair       [][]float64 // gid × gid: distinct-pair penalty
-	cnt        []int       // occupancy counters, [cycle][bid][gid] flattened
-	act        []int       // nonzero-group count per [cycle][bid]
-	merged     []int       // scratch: common ⊎ branch pattern, len ng
-	structured []int       // scratch for structuralCost, len ng
+	succ    []int // successor lists in CSR form: succ[succOff[i]:succOff[i+1]]
+	succOff []int
+
+	ng, nb     int       // distinct groups / branch tags (slot 0 = common)
+	gnames     []string  // gid -> group name, in first-appearance order
+	gid, bid   []int     // per access -> group / branch index
+	self       []float64 // per gid: same-group overlap penalty
+	structW    []float64 // per gid: self[gid] × StructuralWeight
+	pair       []float64 // gid × gid (row stride ng): distinct-pair penalty
+	cnt        []int     // occupancy counters, [cycle][bid][gid] flattened
+	act        []int     // nonzero-group count per [cycle][bid]
+	merged     []int     // scratch: common ⊎ branch pattern, len ng
+	structured []int     // scratch for structuralCost, len ng
 }
 
-func newScheduler(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params) *scheduler {
+// succs returns the successor IDs of access id.
+func (s *scheduler) succs(id int) []int {
+	return s.succ[s.succOff[id] : s.succOff[id+1] : s.succOff[id+1]]
+}
+
+// newScheduler builds the dense working state on the given arena (nil falls
+// back to plain allocation, for tests).
+func newScheduler(l *spec.Loop, groups map[string]spec.BasicGroup, budget int, p Params, ar *scratch.Arena) *scheduler {
 	n := len(l.Accesses)
 	s := &scheduler{
-		l: l, groups: groups, p: p, budget: budget,
-		dur:   make([]int, n),
+		l: l, groups: groups, p: p, ar: ar, budget: budget,
+		dur:   ar.Ints(n),
 		start: make([]int, n),
-		succ:  make([][]int, n),
-		gid:   make([]int, n),
-		bid:   make([]int, n),
+		gid:   ar.Ints(n),
+		bid:   ar.Ints(n),
 		nb:    1,
 	}
-	gIdx := make(map[string]int, 8)
-	bIdx := map[string]int{"": 0}
-	for i, a := range l.Accesses {
+	s.order = dfg.TopoOrderScratch(l, ar)
+	// Successor lists, CSR: count per node, prefix-sum, fill. The fill
+	// visits accesses in slice order, so each node's successors appear in
+	// the same order the old per-node append produced.
+	edges := 0
+	for i := range l.Accesses {
+		edges += len(l.Accesses[i].Deps)
+	}
+	s.succOff = ar.Ints(n + 1)
+	s.succ = ar.Ints(edges)
+	cur := ar.Ints(n)
+	for i := range l.Accesses {
+		for _, d := range l.Accesses[i].Deps {
+			cur[d]++
+		}
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		s.succOff[i] = sum
+		sum += cur[i]
+		cur[i] = s.succOff[i]
+	}
+	s.succOff[n] = sum
+	s.gnames = ar.Strings(n)[:0]
+	bnames := ar.Strings(n + 1)[:0]
+	bnames = append(bnames, "")
+	for i := range l.Accesses {
+		a := &l.Accesses[i]
 		s.dur[i] = p.Duration(groups[a.Group])
 		s.start[i] = -1
 		for _, d := range a.Deps {
-			s.succ[d] = append(s.succ[d], a.ID)
+			s.succ[cur[d]] = a.ID
+			cur[d]++
 		}
-		gi, ok := gIdx[a.Group]
-		if !ok {
+		gi := -1
+		for j, gn := range s.gnames {
+			if gn == a.Group {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
 			gi = len(s.gnames)
-			gIdx[a.Group] = gi
 			s.gnames = append(s.gnames, a.Group)
 		}
 		s.gid[i] = gi
-		bi, ok := bIdx[a.Branch]
-		if !ok {
-			bi = s.nb
-			bIdx[a.Branch] = bi
-			s.nb++
+		bi := -1
+		for j, bn := range bnames {
+			if bn == a.Branch {
+				bi = j
+				break
+			}
+		}
+		if bi < 0 {
+			bi = len(bnames)
+			bnames = append(bnames, a.Branch)
 		}
 		s.bid[i] = bi
 	}
+	s.nb = len(bnames)
 	s.ng = len(s.gnames)
-	s.self = make([]float64, s.ng)
-	s.structW = make([]float64, s.ng)
-	s.pair = make([][]float64, s.ng)
+	s.self = ar.Float64s(s.ng)
+	s.structW = ar.Float64s(s.ng)
+	s.pair = ar.Float64s(s.ng * s.ng)
 	for i, gn := range s.gnames {
 		g := groups[gn]
 		s.self[i] = p.selfPenalty(g)
 		s.structW[i] = s.self[i] * p.StructuralWeight
-		s.pair[i] = make([]float64, s.ng)
 	}
 	for i := 0; i < s.ng; i++ {
 		for j := i + 1; j < s.ng; j++ {
 			v := p.pairPenalty(groups[s.gnames[i]], groups[s.gnames[j]])
-			s.pair[i][j], s.pair[j][i] = v, v
+			s.pair[i*s.ng+j], s.pair[j*s.ng+i] = v, v
 		}
 	}
-	s.cnt = make([]int, budget*s.nb*s.ng)
-	s.act = make([]int, budget*s.nb)
-	s.merged = make([]int, s.ng)
-	s.structured = make([]int, s.ng)
+	s.cnt = ar.Ints(budget * s.nb * s.ng)
+	s.act = ar.Ints(budget * s.nb)
+	s.merged = ar.Ints(s.ng)
+	s.structured = ar.Ints(s.ng)
 	return s
 }
 
@@ -412,7 +470,7 @@ func (s *scheduler) patternCost(cnt []int) float64 {
 		if k > 1 {
 			c += float64((k-1)*(k-1)) * s.self[i]
 		}
-		row := s.pair[i]
+		row := s.pair[i*s.ng : (i+1)*s.ng]
 		for j := i + 1; j < len(cnt); j++ {
 			if cnt[j] != 0 {
 				c += row[j]
@@ -512,7 +570,7 @@ func (s *scheduler) window(id int, asap, alap []int) (lo, hi int) {
 			lo = s.start[d] + s.dur[d]
 		}
 	}
-	for _, sc := range s.succ[id] {
+	for _, sc := range s.succs(id) {
 		if s.start[sc] >= 0 && s.start[sc]-s.dur[id] < hi {
 			hi = s.start[sc] - s.dur[id]
 		}
@@ -522,57 +580,50 @@ func (s *scheduler) window(id int, asap, alap []int) (lo, hi int) {
 
 // pipelinedWindows computes the start windows for modulo scheduling: ASAP
 // from the dependences, one initiation interval of slack for each access.
-func pipelinedWindows(l *spec.Loop, dur []int, ii int) (asap, alap []int) {
-	n := len(l.Accesses)
-	asap = make([]int, n)
-	alap = make([]int, n)
-	for _, id := range dfg.TopoOrder(l) {
+func (s *scheduler) pipelinedWindows() (asap, alap []int) {
+	n := len(s.l.Accesses)
+	asap = s.ar.Ints(n)
+	alap = s.ar.Ints(n)
+	for _, id := range s.order {
 		st := 0
-		for _, d := range l.Accesses[id].Deps {
-			if f := asap[d] + dur[d]; f > st {
+		for _, d := range s.l.Accesses[id].Deps {
+			if f := asap[d] + s.dur[d]; f > st {
 				st = f
 			}
 		}
 		asap[id] = st
-		alap[id] = st + ii - 1
+		alap[id] = st + s.budget - 1
 	}
 	return asap, alap
 }
 
 // asapAlap computes duration-weighted start windows; returns an error when
 // the budget is below the duration-weighted critical path.
-func asapAlap(l *spec.Loop, dur []int, budget int) (asap, alap []int, err error) {
-	n := len(l.Accesses)
-	asap = make([]int, n)
-	alap = make([]int, n)
-	order := dfg.TopoOrder(l)
-	for _, id := range order {
+func (s *scheduler) asapAlap() (asap, alap []int, err error) {
+	n := len(s.l.Accesses)
+	asap = s.ar.Ints(n)
+	alap = s.ar.Ints(n)
+	for _, id := range s.order {
 		st := 0
-		for _, d := range l.Accesses[id].Deps {
-			if f := asap[d] + dur[d]; f > st {
+		for _, d := range s.l.Accesses[id].Deps {
+			if f := asap[d] + s.dur[d]; f > st {
 				st = f
 			}
 		}
 		asap[id] = st
 	}
-	succ := make([][]int, n)
-	for _, a := range l.Accesses {
-		for _, d := range a.Deps {
-			succ[d] = append(succ[d], a.ID)
-		}
-	}
 	for i := n - 1; i >= 0; i-- {
-		id := order[i]
-		la := budget - dur[id]
-		for _, sc := range succ[id] {
-			if v := alap[sc] - dur[id]; v < la {
+		id := s.order[i]
+		la := s.budget - s.dur[id]
+		for _, sc := range s.succs(id) {
+			if v := alap[sc] - s.dur[id]; v < la {
 				la = v
 			}
 		}
 		alap[id] = la
 		if la < asap[id] {
 			return nil, nil, fmt.Errorf("sbd: loop %q: budget %d below weighted critical path",
-				l.Name, budget)
+				s.l.Name, s.budget)
 		}
 	}
 	return asap, alap, nil
@@ -582,9 +633,17 @@ func asapAlap(l *spec.Loop, dur []int, budget int) (asap, alap []int, err error)
 // its minimum feasible per-iteration budget.
 func WeightedCP(l *spec.Loop, groups map[string]spec.BasicGroup, p Params) int {
 	p.normalize()
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	return weightedCP(l, groups, p, ar)
+}
+
+// weightedCP is WeightedCP on a caller-owned arena with p already
+// normalized.
+func weightedCP(l *spec.Loop, groups map[string]spec.BasicGroup, p Params, ar *scratch.Arena) int {
 	longest := 0
-	finish := make([]int, len(l.Accesses))
-	for _, id := range dfg.TopoOrder(l) {
+	finish := ar.Ints(len(l.Accesses))
+	for _, id := range dfg.TopoOrderScratch(l, ar) {
 		st := 0
 		for _, d := range l.Accesses[id].Deps {
 			if finish[d] > st {
@@ -619,22 +678,24 @@ func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spe
 	if budget < 1 {
 		return nil, fmt.Errorf("sbd: loop %q: budget %d out of range", l.Name, budget)
 	}
-	s := newScheduler(l, groups, budget, p)
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	s := newScheduler(l, groups, budget, p, ar)
 	var asap, alap []int
 	var err error
 	if p.Pipelined {
 		// Modulo scheduling: dependences define the earliest starts, each
 		// access gets one initiation interval of slack, and occupancy wraps.
-		asap, alap = pipelinedWindows(l, s.dur, budget)
+		asap, alap = s.pipelinedWindows()
 	} else {
-		asap, alap, err = asapAlap(l, s.dur, budget)
+		asap, alap, err = s.asapAlap()
 		if err != nil {
 			return nil, err
 		}
 	}
 	// Initial placement: topological order, cheapest feasible cycle
 	// (earliest on ties keeps the schedule compact and deterministic).
-	for _, id := range dfg.TopoOrder(l) {
+	for _, id := range s.order {
 		lo, hi := s.window(id, asap, alap)
 		bestC, bestV := lo, math.Inf(1)
 		for c := lo; c <= hi; c++ {
@@ -648,24 +709,19 @@ func BalanceLoopContext(ctx context.Context, l *spec.Loop, groups map[string]spe
 	// The initial placement is already a complete feasible schedule, so the
 	// improvement passes can stop at any pass boundary under cancellation.
 	done := ctx.Done()
-	canceled := func() bool {
-		if done == nil {
-			return false
-		}
-		select {
-		case <-done:
-			return true
-		default:
-			return false
-		}
-	}
 	passes, moves := 0, 0
 	degraded := false
 	for pass := 0; pass < p.Passes; pass++ {
-		if canceled() {
+		if done != nil {
+			select {
+			case <-done:
+				degraded = true
+			default:
+			}
+		}
+		if degraded {
 			// Stopped before convergence (or before the pass budget ran out
 			// deterministically): the schedule is valid but best-effort.
-			degraded = true
 			break
 		}
 		passes++
@@ -754,39 +810,132 @@ func (s *scheduler) structuralCost() float64 {
 // loopPatterns derives the conflict-pattern contribution of one committed
 // loop schedule, merged and sorted by canonical key. The result is shared
 // through the session cache, so callers must treat it as immutable.
+//
+// The occupancy is accumulated in a dense (cycle, branch, group) counter
+// table on a pooled arena — the map-of-maps per cycle this replaces was one
+// of the largest allocation sites of an exploration. A cycle's effective
+// access pattern is the common (unconditional) part plus one branch:
+// accesses under different branch tags are mutually exclusive, and the
+// common-only pattern is pointwise-dominated whenever any branch is active.
+// Only the distinct output patterns materialize maps, and those are fresh
+// heap values safe to share through the cache.
 func loopPatterns(l *spec.Loop, sc *LoopSchedule, groups map[string]spec.BasicGroup, p Params) []Pattern {
-	occ := make([]*cycleOcc, sc.Budget)
-	for i := range occ {
-		occ[i] = newCycleOcc()
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	n := len(l.Accesses)
+	// Enumerate the distinct group and branch names (slot 0 = common).
+	gnames := ar.Strings(n)[:0]
+	bnames := ar.Strings(n + 1)[:0]
+	bnames = append(bnames, "")
+	gid := ar.Ints(n)
+	bid := ar.Ints(n)
+	for i := range l.Accesses {
+		a := &l.Accesses[i]
+		gi := -1
+		for j, gn := range gnames {
+			if gn == a.Group {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(gnames)
+			gnames = append(gnames, a.Group)
+		}
+		gid[i] = gi
+		bi := -1
+		for j, bn := range bnames {
+			if bn == a.Branch {
+				bi = j
+				break
+			}
+		}
+		if bi < 0 {
+			bi = len(bnames)
+			bnames = append(bnames, a.Branch)
+		}
+		bid[i] = bi
 	}
-	for _, a := range l.Accesses {
+	ng, nb := len(gnames), len(bnames)
+	cnt := ar.Ints(sc.Budget * nb * ng)
+	for i := range l.Accesses {
+		a := &l.Accesses[i]
 		d := p.Duration(groups[a.Group])
 		for k := sc.Start[a.ID]; k < sc.Start[a.ID]+d; k++ {
 			ki := k
 			if p.Pipelined {
 				ki = k % sc.Budget
 			}
-			occ[ki].bucket(a.Branch)[a.Group]++
+			cnt[(ki*nb+bid[i])*ng+gid[i]]++
 		}
 	}
+	// gids in sorted-name order, so the canonical "name:count;" keys come
+	// out identical to sorting each pattern's names.
+	sortedGid := ar.Ints(ng)
+	for i := range sortedGid {
+		sortedGid[i] = i
+	}
+	for i := 1; i < ng; i++ {
+		for j := i; j > 0 && gnames[sortedGid[j]] < gnames[sortedGid[j-1]]; j-- {
+			sortedGid[j], sortedGid[j-1] = sortedGid[j-1], sortedGid[j]
+		}
+	}
+	merged := ar.Ints(ng)
+	keyBuf := ar.Buf(256)
 	byKey := make(map[string]*Pattern)
-	for _, o := range occ {
-		o.scenarios(func(m map[string]int) {
-			if len(m) == 0 {
-				return
+	emit := func(pat []int) {
+		keyBuf = keyBuf[:0]
+		nz := 0
+		for _, gi := range sortedGid {
+			if pat[gi] == 0 {
+				continue
 			}
-			pt := Pattern{Access: m, Weight: l.Iterations}
-			k := pt.key()
-			if ex := byKey[k]; ex != nil {
-				ex.Weight += l.Iterations
-			} else {
-				cp := Pattern{Access: make(map[string]int, len(m)), Weight: l.Iterations}
-				for g, c := range m {
-					cp.Access[g] = c
+			nz++
+			keyBuf = append(keyBuf, gnames[gi]...)
+			keyBuf = append(keyBuf, ':')
+			keyBuf = strconv.AppendInt(keyBuf, int64(pat[gi]), 10)
+			keyBuf = append(keyBuf, ';')
+		}
+		if nz == 0 {
+			return
+		}
+		if ex := byKey[string(keyBuf)]; ex != nil {
+			ex.Weight += l.Iterations
+			return
+		}
+		cp := Pattern{Access: make(map[string]int, nz), Weight: l.Iterations}
+		for gi, c := range pat {
+			if c != 0 {
+				cp.Access[gnames[gi]] = c
+			}
+		}
+		byKey[string(keyBuf)] = &cp
+	}
+	for slot := 0; slot < sc.Budget; slot++ {
+		base := slot * nb * ng
+		common := cnt[base : base+ng]
+		anyBranch := false
+		for b := 1; b < nb; b++ {
+			br := cnt[base+b*ng : base+(b+1)*ng]
+			active := false
+			for _, v := range br {
+				if v != 0 {
+					active = true
+					break
 				}
-				byKey[k] = &cp
 			}
-		})
+			if !active {
+				continue
+			}
+			anyBranch = true
+			for g := range merged {
+				merged[g] = common[g] + br[g]
+			}
+			emit(merged)
+		}
+		if !anyBranch {
+			emit(common)
+		}
 	}
 	return sortedPatterns(byKey)
 }
@@ -811,8 +960,20 @@ func sortedPatterns(byKey map[string]*Pattern) []Pattern {
 // so re-deriving the patterns of an unchanged loop costs a lookup.
 func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
 	p.normalize()
-	groups := groupsOf(s)
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	return patternsOf(s, scheds, groupsOf(s), p, ar)
+}
+
+// patternsOf is PatternsOf on caller-owned groups and arena (p already
+// normalized): the distributor calls it with the state it already built.
+// All fingerprint and merge keys are assembled in reusable arena buffers
+// and looked up bytewise, so a fully cached derivation allocates only the
+// merged output.
+func patternsOf(s *spec.Spec, scheds []*LoopSchedule, groups map[string]spec.BasicGroup, p Params, ar *scratch.Arena) []Pattern {
 	byKey := make(map[string]*Pattern)
+	kb := ar.Buf(1024)
+	names := ar.Strings(16)[:0]
 	for _, sc := range scheds {
 		var l *spec.Loop
 		for i := range s.Loops {
@@ -826,8 +987,12 @@ func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
 		}
 		var lp []Pattern
 		if p.Memo != nil {
-			key := loopFingerprint(l, groups, p) + "#" + strconv.Itoa(sc.Budget) + "#" + startsKey(sc.Start)
-			lp = p.Memo.Do(memo.LoopPatterns, key, func() (any, bool) {
+			kb, names = appendLoopFingerprint(kb[:0], l, groups, p, names)
+			kb = append(kb, '#')
+			kb = strconv.AppendInt(kb, int64(sc.Budget), 10)
+			kb = append(kb, '#')
+			kb = appendStarts(kb, sc.Start)
+			lp = p.Memo.DoKey(memo.LoopPatterns, kb, func() (any, bool) {
 				return loopPatterns(l, sc, groups, p), true
 			}).([]Pattern)
 		} else {
@@ -835,15 +1000,15 @@ func PatternsOf(s *spec.Spec, scheds []*LoopSchedule, p Params) []Pattern {
 		}
 		for i := range lp {
 			pt := &lp[i]
-			k := pt.key()
-			if ex := byKey[k]; ex != nil {
+			kb, names = appendPatternKey(kb[:0], pt.Access, names)
+			if ex := byKey[string(kb)]; ex != nil {
 				ex.Weight += pt.Weight
 			} else {
 				cp := Pattern{Access: make(map[string]int, len(pt.Access)), Weight: pt.Weight}
 				for g, c := range pt.Access {
 					cp.Access[g] = c
 				}
-				byKey[k] = &cp
+				byKey[string(kb)] = &cp
 			}
 		}
 	}
@@ -891,7 +1056,10 @@ func PrunePatternsCached(c *memo.Cache, pats []Pattern) []Pattern {
 	if c == nil {
 		return PrunePatterns(pats)
 	}
-	return c.Do(memo.PrunedPatterns, FingerprintPatterns(pats), func() (any, bool) {
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	kb, _ := appendPatternsFP(ar.Buf(1024), pats, ar.Strings(16)[:0])
+	return c.DoKey(memo.PrunedPatterns, kb, func() (any, bool) {
 		return PrunePatterns(pats), true
 	}).([]Pattern)
 }
@@ -903,7 +1071,10 @@ func RequiredPortsCached(c *memo.Cache, pats []Pattern) map[string]int {
 	if c == nil {
 		return RequiredPorts(pats)
 	}
-	return c.Do(memo.Ports, FingerprintPatterns(pats), func() (any, bool) {
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	kb, _ := appendPatternsFP(ar.Buf(1024), pats, ar.Strings(16)[:0])
+	return c.DoKey(memo.Ports, kb, func() (any, bool) {
 		return RequiredPorts(pats), true
 	}).(map[string]int)
 }
@@ -960,25 +1131,28 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 	p.Progress.SetStage("sbd")
 	sp.SetInt("budget", int64(totalBudget))
 	groups := groupsOf(s)
+	ar := scratch.Get()
+	defer scratch.Put(ar)
 
 	type curve struct {
 		loop   *spec.Loop
-		fp     string          // schedule-cache fingerprint (when p.Memo is set)
+		fp     []byte          // schedule-cache fingerprint (when p.Memo is set)
 		min    int             // weighted critical path
 		max    int             // budget beyond which cost is zero anyway
 		scheds []*LoopSchedule // index: budget - min
 		chosen int             // index into scheds
 	}
 	curves := make([]*curve, 0, len(s.Loops))
+	fpNames := ar.Strings(16)[:0]
 	var minTotal uint64
 	for i := range s.Loops {
 		l := &s.Loops[i]
 		if len(l.Accesses) == 0 {
 			continue
 		}
-		cv := &curve{loop: l, min: WeightedCP(l, groups, p)}
+		cv := &curve{loop: l, min: weightedCP(l, groups, p, ar)}
 		if p.Memo != nil {
-			cv.fp = loopFingerprint(l, groups, p)
+			cv.fp, fpNames = appendLoopFingerprint(ar.Buf(512), l, groups, p, fpNames)
 		}
 		if p.Pipelined {
 			// Modulo scheduling: the initiation interval may drop below the
@@ -1033,11 +1207,15 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		sc  *LoopSchedule
 		err error
 	}
+	kb := ar.Buf(1024)
 	balance := func(cv *curve, b int) (*LoopSchedule, error) {
 		if p.Memo == nil {
 			return BalanceLoopContext(ctx, cv.loop, groups, b, p)
 		}
-		r := p.Memo.Do(memo.Schedule, cv.fp+"#"+strconv.Itoa(b), func() (any, bool) {
+		kb = append(kb[:0], cv.fp...)
+		kb = append(kb, '#')
+		kb = strconv.AppendInt(kb, int64(b), 10)
+		r := p.Memo.DoKey(memo.Schedule, kb, func() (any, bool) {
 			sc, err := BalanceLoopContext(ctx, cv.loop, groups, b, p)
 			return schedResult{sc, err}, err != nil || !sc.Degraded
 		}).(schedResult)
@@ -1118,7 +1296,7 @@ func DistributeContext(ctx context.Context, s *spec.Spec, totalBudget uint64, p 
 		d.Cost += sc.Cost
 	}
 	d.Degraded = degraded
-	d.Patterns = PatternsOf(s, d.Loops, p)
+	d.Patterns = patternsOf(s, d.Loops, groups, p, ar)
 	if sp != nil {
 		points := 0
 		for _, cv := range curves {

@@ -337,7 +337,7 @@ func bruteForceBalance(t *testing.T, l *spec.Loop, groups map[string]spec.BasicG
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n {
-			s := newScheduler(l, groups, budget, p)
+			s := newScheduler(l, groups, budget, p, nil)
 			for id, st := range starts {
 				s.place(id, st)
 			}

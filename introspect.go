@@ -277,6 +277,19 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		p.Counter("diskcache.read_errors", ds.ReadErrs)
 	}
 
+	// Go runtime families (dtse_go_*): allocation counters to pair with the
+	// request counters (allocs per request without a profiler attached) and
+	// the GC pressure gauges. Read at scrape time, so values are current.
+	rt := obs.ReadRuntime()
+	p.Gauge("go.heap_alloc_bytes", int64(rt.HeapAllocBytes))
+	p.Gauge("go.heap_sys_bytes", int64(rt.HeapSysBytes))
+	p.Counter("go.alloc_bytes", int64(rt.TotalAllocBytes))
+	p.Counter("go.mallocs", int64(rt.Mallocs))
+	p.Counter("go.gc_cycles", int64(rt.GCCycles))
+	p.GaugeF("go.gc_last_pause_seconds", float64(rt.LastPauseNS)/1e9)
+	p.GaugeF("go.gc_pause_total_seconds", float64(rt.PauseTotalNS)/1e9)
+	p.Gauge("go.goroutines", int64(rt.Goroutines))
+
 	// The observer's memo.* gauges (published by demo runs) duplicate the
 	// authoritative live stats above, so they are skipped here; everything
 	// else passes through.

@@ -47,6 +47,10 @@ func TestMetricsPromGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The dtse_go_* runtime samples are read live at scrape time (heap bytes,
+	// GC state) and cannot be deterministic even on a fresh server; mask their
+	// values so the golden still pins the family names, types, and ordering.
+	got = goRuntimeSampleRE.ReplaceAll(got, []byte("$1 0"))
 
 	golden := filepath.Join("testdata", "metrics_fresh.prom")
 	if *updateGolden {
@@ -67,6 +71,10 @@ func TestMetricsPromGolden(t *testing.T) {
 			golden, diffLines(want, got))
 	}
 }
+
+// goRuntimeSampleRE matches a dtse_go_* sample line's value (TYPE lines
+// don't match: they don't end in a value after a name token).
+var goRuntimeSampleRE = regexp.MustCompile(`(?m)^(dtse_go_[a-zA-Z0-9_]+) \S+$`)
 
 // diffLines renders a small line diff, enough to see which family moved.
 func diffLines(want, got []byte) string {
@@ -140,6 +148,10 @@ func TestMetricsPromStableNames(t *testing.T) {
 		"dtse_pool_task_seconds":          "histogram",
 		"dtse_stage_duration_seconds":     "histogram",
 		"dtse_server_requests_total":      "counter",
+		"dtse_go_heap_alloc_bytes":        "gauge",
+		"dtse_go_mallocs_total":           "counter",
+		"dtse_go_gc_cycles_total":         "counter",
+		"dtse_go_gc_last_pause_seconds":   "gauge",
 	}
 	for name, typ := range required {
 		if got, ok := families[name]; !ok {

@@ -38,6 +38,9 @@ import (
 //	                            response is an SSE stream of progress events
 //	                            ending in the result (GET with ?request=
 //	                            works too, for EventSource clients)
+//	POST /v1/explore/batch      N explore requests under one admission slot,
+//	                            sharing the session cache and worker pool;
+//	                            per-item status/degraded/trace-id results
 //	GET  /healthz               liveness ("ok", or 503 while draining)
 //	GET  /metrics               Prometheus text exposition (or the JSON
 //	                            snapshot when Accept prefers application/json)
@@ -216,6 +219,7 @@ func NewServer(opts ServeOptions) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/explore", s.handleExplore)
+	s.mux.HandleFunc("/v1/explore/batch", s.handleExploreBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
@@ -626,6 +630,150 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeResponse(w, s.runExploration(ctx, p, tid, prog))
+}
+
+// --- batched serving ---
+
+// batchRequest is the POST /v1/explore/batch body: up to maxBatchItems
+// explore requests evaluated against the same session state — one admission
+// slot, one evaluation cache, one worker pool — so throughput clients
+// amortize per-request setup across items.
+type batchRequest struct {
+	Items []json.RawMessage `json:"items"`
+}
+
+// batchItem is one item's outcome. Status and body are exactly what a
+// standalone POST /v1/explore of the item would have returned (per-item
+// dedup through the same Requests keyspace included); degraded mirrors the
+// item's own deadline semantics, and trace_id names the item's root span.
+type batchItem struct {
+	Index    int             `json:"index"`
+	Status   int             `json:"status"`
+	Degraded bool            `json:"degraded,omitempty"`
+	TraceID  string          `json:"trace_id"`
+	Body     json.RawMessage `json:"body"`
+}
+
+type batchResponse struct {
+	Items []batchItem `json:"items"`
+}
+
+// maxBatchItems bounds one batch request. A larger sweep should be split:
+// each batch holds one exploration slot for its whole duration.
+const maxBatchItems = 64
+
+// handleExploreBatch runs N explorations under one admission slot, fanned
+// out on the shared session worker pool. Per-item failures (bad item JSON,
+// infeasible spec, expired per-item deadline) land in that item's result;
+// the envelope itself fails only on malformed batch JSON or overload. The
+// envelope is never cached — each item deduplicates individually, so a
+// batch overlapping earlier traffic gets per-item cache hits.
+func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
+	tid := fmt.Sprintf("%s-%06d", s.runID, s.nextTrace.Add(1))
+	w.Header().Set("X-Trace-Id", tid)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.requests.Add(1)
+	s.obs.Counter("server.requests").Add(1)
+	s.obs.Counter("server.batch_requests").Add(1)
+	start := time.Now()
+	defer func() {
+		us := time.Since(start).Microseconds()
+		s.lat.record(us)
+		s.reqHist.ObserveUS(us)
+	}()
+
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var breq batchRequest
+	if err := dec.Decode(&breq); err != nil {
+		s.obs.Counter("server.bad_requests").Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid batch body: %v", err))
+		return
+	}
+	n := len(breq.Items)
+	if n == 0 {
+		s.obs.Counter("server.bad_requests").Add(1)
+		s.writeError(w, http.StatusBadRequest, "items must not be empty")
+		return
+	}
+	if n > maxBatchItems {
+		s.obs.Counter("server.bad_requests").Add(1)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d items exceed the batch limit %d", n, maxBatchItems))
+		return
+	}
+	// Parse every item up front: an invalid item becomes its own 400 result
+	// without costing the valid ones anything.
+	parsed := make([]*parsedRequest, n)
+	parseErrs := make([]error, n)
+	for i, raw := range breq.Items {
+		parsed[i], parseErrs[i] = parseExplore(bytes.NewReader(raw))
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	release, ok := s.admit(ctx)
+	if !ok {
+		s.obs.Counter("server.rejected_overload").Add(1)
+		retry := s.opts.DefaultTimeout
+		if retry <= 0 {
+			retry = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
+		s.writeError(w, http.StatusTooManyRequests, "exploration queue is full")
+		return
+	}
+	defer release()
+
+	results := make([]*servedResponse, n)
+	tids := make([]string, n)
+	s.workers.ForEach(ctx, n, func(i int) {
+		tids[i] = fmt.Sprintf("%s.%d", tid, i)
+		if parseErrs[i] != nil {
+			s.obs.Counter("server.bad_requests").Add(1)
+			results[i] = errResponse(http.StatusBadRequest, parseErrs[i])
+			return
+		}
+		ictx, icancel := ctx, context.CancelFunc(nil)
+		if d := s.effectiveTimeout(parsed[i].req.TimeoutMS); d > 0 {
+			ictx, icancel = context.WithTimeout(ctx, d)
+		}
+		prog := s.registerLive(tids[i], parsed[i])
+		results[i] = s.runExploration(ictx, parsed[i], tids[i], prog)
+		s.unregisterLive(tids[i])
+		if icancel != nil {
+			icancel()
+		}
+	})
+	s.obs.Counter("server.batch_items").Add(int64(n))
+
+	env := batchResponse{Items: make([]batchItem, n)}
+	for i, res := range results {
+		env.Items[i] = batchItem{
+			Index:    i,
+			Status:   res.status,
+			Degraded: res.degraded,
+			TraceID:  tids[i],
+			Body:     json.RawMessage(bytes.TrimRight(res.body, "\n")),
+		}
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		s.writeResponse(w, errResponse(http.StatusInternalServerError, err))
+		return
+	}
+	s.writeResponse(w, &servedResponse{status: http.StatusOK, body: append(body, '\n')})
 }
 
 // runExploration runs one admitted exploration under its telemetry span,
