@@ -1,6 +1,7 @@
 package dtse
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -114,6 +115,48 @@ func TestBatchExploreValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET batch: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchExploreCanceledMidBatch: when the batch context dies before
+// every item launched (client disconnect / server drain), ForEach leaves
+// the unlaunched tail nil; the envelope must backfill those items with a
+// defined 503 instead of panicking on a nil result. A pre-canceled request
+// context exercises exactly that path: item 0 always runs, items 1+ are
+// never launched.
+func TestBatchExploreCanceledMidBatch(t *testing.T) {
+	srv := NewServer(ServeOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body := batchBody(`{"demo": {"size": 64}}`, `{"demo": {"size": 64}}`, `{"demo": {"size": 64}}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/explore/batch", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d (%s)", rec.Code, rec.Body.Bytes())
+	}
+	var env batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("batch envelope: %v", err)
+	}
+	if len(env.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(env.Items))
+	}
+	btid := rec.Header().Get("X-Trace-Id")
+	for i, it := range env.Items {
+		if it.TraceID != fmt.Sprintf("%s.%d", btid, i) {
+			t.Errorf("item %d: trace %q (batch trace %q)", i, it.TraceID, btid)
+		}
+		if len(it.Body) == 0 {
+			t.Errorf("item %d: empty body", i)
+		}
+	}
+	// Items 1+ were never launched: they must carry the backfilled 503.
+	for i := 1; i < 3; i++ {
+		if env.Items[i].Status != http.StatusServiceUnavailable {
+			t.Errorf("unlaunched item %d: status %d, want 503 (%s)", i, env.Items[i].Status, env.Items[i].Body)
+		}
 	}
 }
 

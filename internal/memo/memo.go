@@ -175,8 +175,11 @@ func (s *space) lock(sh *shard) {
 	sh.mu.Lock()
 }
 
-// shardFor picks the shard of a key (FNV-1a folded to the shard mask).
-func (s *space) shardFor(key string) *shard {
+// shardIndex is the one FNV-1a over both key forms: Do (string keys) and
+// DoKey (byte keys) must address the same shard for equal key bytes, or the
+// singleflight/dedup guarantee between the two paths breaks. Generic over
+// the key form so neither path allocates a conversion.
+func shardIndex[K ~string | ~[]byte](key K) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -186,22 +189,18 @@ func (s *space) shardFor(key string) *shard {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return &s.shards[h&(shardCount-1)]
+	return h & (shardCount - 1)
+}
+
+// shardFor picks the shard of a key (FNV-1a folded to the shard mask).
+func (s *space) shardFor(key string) *shard {
+	return &s.shards[shardIndex(key)]
 }
 
 // shardForBytes is shardFor over the byte form of a key: identical hash, so
 // Do and DoKey with equal key bytes land on the same shard.
 func (s *space) shardForBytes(key []byte) *shard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return &s.shards[h&(shardCount-1)]
+	return &s.shards[shardIndex(key)]
 }
 
 // Cache is one exploration session's memoization state. Values stored in

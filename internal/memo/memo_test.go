@@ -2,6 +2,7 @@ package memo
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -239,6 +240,22 @@ func TestShardDistribution(t *testing.T) {
 	}
 	if used < shardCount/2 {
 		t.Fatalf("%d keys landed in only %d/%d shards (bad hash spread)", keys, used, shardCount)
+	}
+}
+
+// TestShardForMatchesShardForBytes: the string and byte key paths must
+// address the same shard for equal key bytes, or Do and DoKey would not
+// singleflight against each other.
+func TestShardForMatchesShardForBytes(t *testing.T) {
+	c := New()
+	s := &c.spaces[Ports]
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		if s.shardFor(string(b)) != s.shardForBytes(b) {
+			t.Fatalf("key %q: shardFor and shardForBytes disagree", b)
+		}
 	}
 }
 

@@ -39,7 +39,7 @@ type Pool struct {
 	workers int
 
 	spawns atomic.Int64 // items handed to a helper goroutine
-	inline atomic.Int64 // items run inline because the pool was saturated
+	inline atomic.Int64 // items run on the submitting goroutine (saturation or single-item fast path)
 
 	// hist, when set by Observe, records each ForEach item's duration
 	// (pool.task). Opt-in so bare library use pays nothing.
@@ -65,7 +65,9 @@ func (p *Pool) Workers() int {
 }
 
 // Stats returns how many items ran on helper goroutines and how many ran
-// inline because the pool was saturated (the nesting-safety fallback).
+// inline on the submitting goroutine — because the pool was saturated (the
+// nesting-safety fallback) or because a ForEach had a single item. Every
+// ForEach item lands in exactly one of the two counters.
 func (p *Pool) Stats() (spawns, inline int64) {
 	if p == nil {
 		return 0, 0
@@ -96,7 +98,10 @@ func (p *Pool) ForEach(ctx context.Context, n int, f func(i int)) {
 	if n == 1 {
 		// Single item: both branches below would run f(0) unconditionally on
 		// the caller (item 0 is never gated on ctx), so skip the WaitGroup and
-		// slot machinery entirely.
+		// slot machinery entirely. Still counted, so Stats covers every item.
+		if p != nil {
+			p.inline.Add(1)
+		}
 		f(0)
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -757,6 +758,18 @@ func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	s.obs.Counter("server.batch_items").Add(int64(n))
+
+	// ForEach stops launching items once ctx is done (client disconnect or
+	// server drain mid-batch), leaving the unlaunched tail nil. Give those
+	// items a defined 503 result so the envelope below never dereferences a
+	// nil response.
+	for i := range results {
+		if results[i] == nil {
+			tids[i] = fmt.Sprintf("%s.%d", tid, i)
+			results[i] = errResponse(http.StatusServiceUnavailable,
+				errors.New("canceled before start"))
+		}
+	}
 
 	env := batchResponse{Items: make([]batchItem, n)}
 	for i, res := range results {
