@@ -1,0 +1,589 @@
+package dtse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// --- in-process multi-node harness ---
+
+// testCluster is N full dtse servers joined into one consistent-hash ring,
+// each behind its own httptest listener — the in-process stand-in for a
+// multi-machine deployment.
+type testCluster struct {
+	servers []*Server
+	https   []*httptest.Server
+	urls    []string
+}
+
+// newTestCluster builds and joins n nodes. optsFor returns node i's
+// ServeOptions (so tests can give each node its own observer); copts is
+// shared, with Self/Peers filled in per node.
+func newTestCluster(t *testing.T, n int, optsFor func(i int) ServeOptions, copts ClusterOptions) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		servers: make([]*Server, n),
+		https:   make([]*httptest.Server, n),
+		urls:    make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		tc.servers[i] = NewServer(optsFor(i))
+		tc.https[i] = httptest.NewServer(tc.servers[i].Handler())
+		tc.urls[i] = tc.https[i].URL
+	}
+	for i := 0; i < n; i++ {
+		co := copts
+		co.Self = tc.urls[i]
+		co.Peers = nil
+		for j := 0; j < n; j++ {
+			if j != i {
+				co.Peers = append(co.Peers, tc.urls[j])
+			}
+		}
+		if err := tc.servers[i].JoinCluster(co); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for i := range tc.servers {
+			tc.https[i].Close()
+			tc.servers[i].Abort()
+		}
+	})
+	return tc
+}
+
+func plainOpts(int) ServeOptions { return ServeOptions{} }
+
+// randClusterSpec builds a deterministic random spec request body with
+// enough on-chip groups to clear the subtree-distribution gate.
+func randClusterSpec(t *testing.T, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewSpec(fmt.Sprintf("cl%d", seed))
+	nGroups := 5 + rng.Intn(3)
+	names := make([]string, nGroups)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+		b.Group(names[i], int64(128<<uint(rng.Intn(4))), 4+2*rng.Intn(6))
+	}
+	b.Loop("body", 2048+uint64(rng.Intn(2048)))
+	for _, name := range names {
+		b.Read(name, float64(1+rng.Intn(2)))
+		if rng.Intn(2) == 0 {
+			b.Write(name, 1)
+		}
+	}
+	s := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteSpecJSON(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf(`{"spec": %s, "budget": %d}`, buf.Bytes(), 200_000+rng.Intn(100_000))
+}
+
+func postURL(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// --- determinism at any node count ---
+
+// TestClusterDeterminismAnyNodeCount is the acceptance pin: for random
+// specs and a demo run, every front node of a 3-node cluster (routing,
+// hedging, incumbent sharing, and subtree distribution all live) returns
+// byte-identical response bodies to a plain single node.
+func TestClusterDeterminismAnyNodeCount(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	defer solo.Abort()
+
+	tc := newTestCluster(t, 3, plainOpts, ClusterOptions{
+		HedgeDelay:       20 * time.Millisecond,
+		SubtreeMinGroups: 4, // exercise distribution on the small test specs
+	})
+
+	bodies := []string{`{"demo": {"size": 16, "seed": 9}}`}
+	for seed := int64(0); seed < 5; seed++ {
+		bodies = append(bodies, randClusterSpec(t, seed))
+	}
+	for bi, body := range bodies {
+		resp, ref := postURL(t, soloTS.URL, "/v1/explore", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %d: solo status %d: %s", bi, resp.StatusCode, ref)
+		}
+		for ni, url := range tc.urls {
+			resp, got := postURL(t, url, "/v1/explore", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("body %d via node %d: status %d: %s", bi, ni, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("body %d via node %d: response diverged from single node\n got: %s\nwant: %s", bi, ni, got, ref)
+			}
+		}
+	}
+}
+
+// TestClusterBatchRouting: a batch posted to one front node fans out to
+// the item owners and still returns per-item bodies byte-identical to a
+// single node, with every item trace id rooted in the batch trace id.
+func TestClusterBatchRouting(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	defer solo.Abort()
+
+	tc := newTestCluster(t, 3, plainOpts, ClusterOptions{SubtreeMinGroups: -1})
+
+	var items []string
+	for seed := int64(10); seed < 18; seed++ {
+		items = append(items, randClusterSpec(t, seed))
+	}
+	batch := `{"items": [` + strings.Join(items, ", ") + `]}`
+
+	resp, body := postURL(t, tc.urls[0], "/v1/explore/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	tid := resp.Header.Get("X-Trace-Id")
+	var env struct {
+		Items []struct {
+			Status  int             `json:"status"`
+			TraceID string          `json:"trace_id"`
+			Body    json.RawMessage `json:"body"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(env.Items) != len(items) {
+		t.Fatalf("%d results for %d items", len(env.Items), len(items))
+	}
+	routedRemote := false
+	for i, it := range env.Items {
+		if it.Status != http.StatusOK {
+			t.Fatalf("item %d: status %d: %s", i, it.Status, it.Body)
+		}
+		if !strings.HasPrefix(it.TraceID, tid+".") {
+			t.Fatalf("item %d trace id %q not rooted in batch trace id %q", i, it.TraceID, tid)
+		}
+		if strings.HasPrefix(it.TraceID, tid+".p") {
+			routedRemote = true
+		}
+		_, ref := postURL(t, soloTS.URL, "/v1/explore", items[i])
+		if !bytes.Equal(append(bytes.TrimRight(it.Body, "\n"), '\n'), ref) {
+			t.Fatalf("item %d body diverged from single node\n got: %s\nwant: %s", i, it.Body, ref)
+		}
+	}
+	if !routedRemote {
+		t.Fatal("no batch item was routed to a peer (8 random specs over 3 nodes should shard)")
+	}
+}
+
+// --- failure handling ---
+
+// TestClusterPeerKillZeroFailures: killing a node mid-load must cost
+// latency only — every request posted to a surviving front completes 200
+// with the single-node bytes.
+func TestClusterPeerKillZeroFailures(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	defer solo.Abort()
+
+	tc := newTestCluster(t, 3, plainOpts, ClusterOptions{
+		HedgeDelay:       15 * time.Millisecond,
+		EjectAfter:       1,
+		EjectFor:         time.Hour,
+		SubtreeMinGroups: -1,
+	})
+
+	var bodies, refs []string
+	for seed := int64(20); seed < 32; seed++ {
+		body := randClusterSpec(t, seed)
+		_, ref := postURL(t, soloTS.URL, "/v1/explore", body)
+		bodies, refs = append(bodies, body), append(refs, string(ref))
+	}
+	for i, body := range bodies {
+		if i == len(bodies)/2 {
+			// Kill node 2 abruptly: open connections die, later forwards to it
+			// fail at the transport and fail over down the ring walk.
+			tc.https[2].CloseClientConnections()
+			tc.https[2].Close()
+			tc.servers[2].Abort()
+		}
+		resp, got := postURL(t, tc.urls[0], "/v1/explore", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d after kill: status %d: %s", i, resp.StatusCode, got)
+		}
+		if string(got) != refs[i] {
+			t.Fatalf("request %d: response diverged after peer kill\n got: %s\nwant: %s", i, got, refs[i])
+		}
+	}
+}
+
+// TestClusterHedgedCompletion: a member that accepts connections but never
+// answers (the gray-failure case ejection alone cannot catch) is hedged
+// around — requests it owns still complete, marked by the hedged counter.
+func TestClusterHedgedCompletion(t *testing.T) {
+	hang := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer stub.Close()
+	defer close(hang) // unblock the stub handler before Close waits on it
+
+	node := NewServer(ServeOptions{Obs: obs.New()})
+	nodeTS := httptest.NewServer(node.Handler())
+	defer nodeTS.Close()
+	defer node.Abort()
+	if err := node.JoinCluster(ClusterOptions{
+		Self:             nodeTS.URL,
+		Peers:            []string{stub.URL},
+		HedgeDelay:       10 * time.Millisecond,
+		SubtreeMinGroups: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a spec the stub owns, as seen from the live node.
+	var body string
+	for seed := int64(100); ; seed++ {
+		if seed > 400 {
+			t.Fatal("no stub-owned spec found")
+		}
+		b := randClusterSpec(t, seed)
+		p, err := parseExplore(strings.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !node.cluster.router.Owns(routeKey(p)) {
+			body = b
+			break
+		}
+	}
+	resp, got := postURL(t, nodeTS.URL, "/v1/explore", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	snap := node.obs.Snapshot()
+	if snap.Counters["cluster.hedged"] == 0 {
+		t.Fatalf("request owned by a hung peer completed without a hedge; counters: %v", snap.Counters)
+	}
+	if snap.Counters["cluster.fallback_local"] == 0 {
+		t.Fatalf("with only a hung peer, the fallback must be local; counters: %v", snap.Counters)
+	}
+}
+
+// --- trace propagation ---
+
+// spanSink records span records for assertions.
+type spanSink struct {
+	mu   sync.Mutex
+	recs []obs.SpanRecord
+}
+
+func (ss *spanSink) Span(rec *obs.SpanRecord) {
+	ss.mu.Lock()
+	ss.recs = append(ss.recs, *rec)
+	ss.mu.Unlock()
+}
+func (ss *spanSink) Flush(map[string]int64) error { return nil }
+
+func (ss *spanSink) find(name string) []obs.SpanRecord {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var out []obs.SpanRecord
+	for _, r := range ss.recs {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestClusterTracePropagation: a forwarded request is one trace end to end
+// — the peer's serve.explore span carries the front node's trace id and a
+// peer= tag, and the front's serve.forward span names the serving peer.
+func TestClusterTracePropagation(t *testing.T) {
+	sinks := make([]*spanSink, 2)
+	tc := newTestCluster(t, 2, func(i int) ServeOptions {
+		sinks[i] = &spanSink{}
+		return ServeOptions{Obs: obs.New(sinks[i])}
+	}, ClusterOptions{SubtreeMinGroups: -1})
+
+	// Find a spec that node 0 does not own, so posting it to node 0 forwards.
+	var body string
+	for seed := int64(500); ; seed++ {
+		if seed > 800 {
+			t.Fatal("no peer-owned spec found")
+		}
+		b := randClusterSpec(t, seed)
+		p, err := parseExplore(strings.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tc.servers[0].cluster.router.Owns(routeKey(p)) {
+			body = b
+			break
+		}
+	}
+	resp, got := postURL(t, tc.urls[0], "/v1/explore", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	tid := resp.Header.Get("X-Trace-Id")
+	if tid == "" {
+		t.Fatal("missing X-Trace-Id")
+	}
+
+	fwd := sinks[0].find("serve.forward")
+	if len(fwd) != 1 {
+		t.Fatalf("front recorded %d serve.forward spans, want 1", len(fwd))
+	}
+	if fwd[0].Fields["trace_id"] != tid || fwd[0].Fields["peer"] != tc.urls[1] {
+		t.Fatalf("forward span fields %v; want trace_id=%s peer=%s", fwd[0].Fields, tid, tc.urls[1])
+	}
+	var served []obs.SpanRecord
+	for _, r := range sinks[1].find("serve.explore") {
+		if r.Fields["trace_id"] == tid {
+			served = append(served, r)
+		}
+	}
+	if len(served) == 0 {
+		t.Fatalf("peer recorded no serve.explore span with the forwarded trace id %s", tid)
+	}
+	for _, r := range served {
+		if r.Fields["peer"] != tc.urls[1] {
+			t.Fatalf("peer span not tagged with its member id: %v", r.Fields)
+		}
+	}
+}
+
+// --- incumbent exchange over the wire ---
+
+func TestClusterIncumbentEndpointAndBroadcast(t *testing.T) {
+	tc := newTestCluster(t, 2, plainOpts, ClusterOptions{SubtreeMinGroups: -1})
+
+	// Direct merge through the wire endpoint.
+	key := "spec|test|bb|shared-key"
+	post := func(url string, bits uint64) int {
+		body := fmt.Sprintf(`{"key": %q, "bits": "%d"}`, key, bits)
+		req, _ := http.NewRequest(http.MethodPost, url+"/v1/internal/incumbent", strings.NewReader(body))
+		req.Header.Set(clusterInternalHeader, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if st := post(tc.urls[1], math.Float64bits(42)); st != http.StatusNoContent {
+		t.Fatalf("incumbent post status %d", st)
+	}
+	if bits, ok := tc.servers[1].cluster.board.Best(key); !ok || math.Float64frombits(bits) != 42 {
+		t.Fatalf("board after merge: %v %v", bits, ok)
+	}
+	if st := post(tc.urls[1], math.Float64bits(50)); st != http.StatusNoContent {
+		t.Fatalf("worse incumbent post status %d", st)
+	}
+	if bits, _ := tc.servers[1].cluster.board.Best(key); math.Float64frombits(bits) != 42 {
+		t.Fatal("a worse remote cost must not raise the board")
+	}
+
+	// A local publish on node 0 broadcasts to node 1 (best-effort, so poll).
+	tc.servers[0].cluster.board.Publish(key, math.Float64bits(7))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if bits, ok := tc.servers[1].cluster.board.Best(key); ok && math.Float64frombits(bits) == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("published incumbent never reached the peer board")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestClusterInternalEndpoints404Solo(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	ts := httptest.NewServer(solo.Handler())
+	defer ts.Close()
+	defer solo.Abort()
+	for _, path := range []string{"/v1/internal/incumbent", "/v1/internal/subtree"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on a solo server: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// --- cluster metrics exposition ---
+
+func TestClusterMetricsFamilies(t *testing.T) {
+	tc := newTestCluster(t, 2, func(int) ServeOptions { return ServeOptions{Obs: obs.New()} },
+		ClusterOptions{SubtreeMinGroups: -1})
+	// Drive enough traffic that at least one request routes each way.
+	for seed := int64(40); seed < 46; seed++ {
+		resp, body := postURL(t, tc.urls[0], "/v1/explore", randClusterSpec(t, seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(tc.urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prom, _ := io.ReadAll(resp.Body)
+	for _, family := range []string{
+		"dtse_cluster_routed_total", "dtse_cluster_local_total", "dtse_cluster_peer_rtt",
+		"dtse_cluster_peers 1", "dtse_cluster_peers_alive 1", "dtse_cluster_incumbents",
+	} {
+		if !strings.Contains(string(prom), family) {
+			t.Fatalf("/metrics missing %s after cluster traffic:\n%s", family, prom)
+		}
+	}
+}
+
+// --- warm index shard ownership ---
+
+// TestWarmIndexShardOwnership pins the boundary rule: with an ownership
+// predicate installed, the index must not record foreign fingerprints, must
+// not serve an exact hit that moved to another shard, and must skip
+// unowned entries during longest-prefix matching.
+func TestWarmIndexShardOwnership(t *testing.T) {
+	owned := map[string]bool{}
+	wi := newWarmIndex()
+	wi.setOwns(func(c string) bool { return owned[c] })
+
+	seedA := map[string]int{"a": 0}
+	seedB := map[string]int{"b": 1}
+
+	// Key naming: the two entries share no prefix with each other, so the
+	// only candidate neighbour for an AAAA-family probe is the AAAA entry.
+	const (
+		fpA = "AAAAAAAAAAAA-1"
+		fpB = "BBBBBBBBBBBB-1"
+		// probe shares 13 chars with fpA, 0 with fpB.
+		probe = "AAAAAAAAAAAA-2"
+	)
+
+	// Recording is gated.
+	wi.record(fpA, seedA)
+	if len(wi.seeds) != 0 {
+		t.Fatal("recorded a fingerprint the node does not own")
+	}
+	owned[fpA] = true
+	owned[fpB] = true
+	wi.record(fpA, seedA)
+	wi.record(fpB, seedB)
+
+	// Exact hit while owned.
+	if got := wi.lookup(fpA); got == nil || got["a"] != 0 {
+		t.Fatalf("owned exact lookup = %v", got)
+	}
+	// Exact entry present but ownership moved away (ring change): no seed.
+	owned[fpA] = false
+	if got := wi.lookup(fpA); got != nil {
+		t.Fatalf("unowned exact lookup must miss, got %v", got)
+	}
+	// Prefix matching skips unowned entries: the probe's only neighbour is
+	// the (unowned) fpA entry, so the lookup must miss rather than seed
+	// from another shard's fingerprint.
+	owned[probe] = true
+	if got := wi.lookup(probe); got != nil {
+		t.Fatalf("prefix lookup leaked an unowned shard's seed: %v", got)
+	}
+	// Ownership moving back revives the entry.
+	owned[fpA] = true
+	if got := wi.lookup(probe); got == nil || got["a"] != 0 {
+		t.Fatalf("re-owned prefix lookup = %v, want the fpA seed", got)
+	}
+}
+
+// --- queue-depth-aware Retry-After ---
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		queued, maxConc int
+		typical         time.Duration
+		want            int
+	}{
+		{0, 1, time.Second, 1},                  // empty queue: one typical wait
+		{0, 4, time.Second, 1},                  // wide server, empty queue
+		{3, 1, time.Second, 4},                  // 3 queued + us = 4 waves
+		{3, 4, time.Second, 1},                  // 4 slots drain all 4 in one wave
+		{8, 2, 500 * time.Millisecond, 3},       // ceil(ceil(9/2)=5 waves * 0.5s)
+		{10, 4, 2 * time.Second, 6},             // ceil(11/4)=3 waves * 2s
+		{0, 1, 0, 1},                            // no latency signal: flat second
+		{0, 0, time.Second, 1},                  // degenerate concurrency clamps
+		{100, 1, 50 * time.Millisecond, 6},      // long queue, fast requests
+		{5, 2, 10 * time.Millisecond, 1},        // sub-second rounds up to 1
+		{2, 1, 1500 * time.Millisecond, 5},      // fractional seconds: ceil(3*1.5)
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.maxConc, c.typical); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d, %v) = %d, want %d", c.queued, c.maxConc, c.typical, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterQueueDepthOnServer: a saturated server's 429 carries a
+// hint that grows with its queue depth.
+func TestRetryAfterQueueDepthOnServer(t *testing.T) {
+	srv := NewServer(ServeOptions{MaxConcurrent: 1, MaxQueue: 1, DefaultTimeout: 3 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Abort()
+
+	// Occupy the slot and the queue with slow demo requests.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	srv.sem <- struct{}{} // hold the only slot directly
+	srv.queued.Add(1)     // simulate one queued waiter
+	defer func() { <-srv.sem; srv.queued.Add(-1); close(release); wg.Wait() }()
+
+	resp, _ := postURL(t, ts.URL, "/v1/explore", `{"demo": {"size": 8}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", resp.Header.Get("Retry-After"))
+	}
+	// One queued + the rejected request, one slot, no latency history →
+	// default timeout (3s) per wave, two waves.
+	if want := retryAfterSeconds(1, 1, 3*time.Second); ra != want {
+		t.Fatalf("Retry-After %d, want %d (queue-depth-aware)", ra, want)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchjson [-size 256] [-bench regexp] [-out BENCH.json] [-baseline OLD.json]
-//	          [-cpus 1,2,4,8]
+//	          [-cpus 1,2,4,8] [-cluster]
 //
 // Each benchmark is run with and without the cross-variant evaluation cache
 // where that distinction exists; the cached runs also record the session
@@ -17,6 +17,11 @@
 // with vs_baseline percent deltas (ns/op, allocs/op, bytes/op), so the
 // artifact states the regression or improvement directly instead of raw
 // values only.
+//
+// -cluster runs the multi-node serving sweep: a single dtsed node versus a
+// 3-node consistent-hash ring (in-process, so the comparison isolates the
+// cache-capacity benefit of sharding), plus a leg that kills one node
+// mid-run and requires zero failed requests. Results land under "cluster".
 //
 // -cpus runs the full exploration once per listed width — GOMAXPROCS and
 // the session worker pool are both set to the width, mirroring `go test
@@ -100,6 +105,10 @@ type Report struct {
 	HardwareCPUs int            `json:"hardware_cpus,omitempty"`
 	Results      []Result       `json:"results"`
 	Scaling      []ScalingPoint `json:"scaling,omitempty"`
+	// Cluster is the -cluster multi-node serving sweep: single-node vs
+	// 3-node-ring throughput on a cache-thrashing workload, plus the
+	// peer-kill leg.
+	Cluster []ClusterPoint `json:"cluster,omitempty"`
 	// Baseline optionally embeds a previous report (the -baseline flag), so
 	// one artifact carries the before/after comparison.
 	Baseline *Report `json:"baseline,omitempty"`
@@ -336,6 +345,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
 	baseline := fs.String("baseline", "", "embed this previous report as the before/after baseline")
 	cpusFlag := fs.String("cpus", "", "comma-separated pool widths for a scaling sweep of the full exploration (e.g. 1,2,4,8)")
+	clusterFlag := fs.Bool("cluster", false, "run the in-process multi-node serving sweep (single vs 3-node ring, with a peer-kill leg)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -393,7 +403,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 		fmt.Fprintf(stderr, "  %s: %d ns/op, %d allocs/op\n", c.name, r.NsPerOp(), r.AllocsPerOp())
 	}
-	if len(rep.Results) == 0 && len(cpus) == 0 {
+	if len(rep.Results) == 0 && len(cpus) == 0 && !*clusterFlag {
 		fmt.Fprintf(stderr, "benchjson: -bench %q matched no benchmarks\n", *benchRe)
 		return 2
 	}
@@ -404,6 +414,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Scaling = pts
+	}
+	if *clusterFlag {
+		pts, err := clusterSweep(stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		rep.Cluster = pts
 	}
 
 	attachDeltas(&rep)

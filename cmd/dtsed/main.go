@@ -9,6 +9,16 @@
 //	      [-timeout 0] [-max-timeout 0] [-workers N] [-drain 5s]
 //	      [-trace out.jsonl] [-cache on|off] [-cache-dir DIR]
 //	      [-cache-bytes N] [-warm on|off] [-flight N] [-slow 0]
+//	      [-cluster on|off] [-self URL] [-peers URL,URL,...] [-hedge-ms N]
+//
+// With -cluster on (requires -self, this node's advertised base URL, and
+// -peers, the other members) the daemon joins a multi-node ring: any node
+// accepts any request, routes it to the consistent-hash owner of its
+// canonical fingerprint (so each node's caches and warm index stay hot for
+// its shard), hedges to the next ring node when the owner is slower than
+// its p99 (-hedge-ms floors the delay), ejects unhealthy peers, shares
+// branch-and-bound incumbents best-effort, and distributes large subtree
+// searches. Responses are byte-identical at any node count.
 //
 // With -cache-dir the daemon keeps a disk-backed second cache tier: every
 // completed response is appended (write-behind, checksummed) to
@@ -61,6 +71,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -92,6 +103,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	warm := fs.String("warm", "on", "warm-start search from cached neighbour assignments: on or off (completed results are identical either way)")
 	flight := fs.Int("flight", 64, "flight-recorder capacity: last N slow/degraded/errored requests (-1 disables)")
 	slow := fs.Duration("slow", 0, "flight-record healthy requests at least this slow (0 = off)")
+	clusterMode := fs.String("cluster", "off", "cluster mode: on or off (requires -self and -peers)")
+	self := fs.String("self", "", "this node's advertised base URL in cluster mode, e.g. http://10.0.0.1:8321")
+	peers := fs.String("peers", "", "comma-separated peer base URLs (every node lists the same membership)")
+	hedgeMS := fs.Int("hedge-ms", 0, "hedge-delay floor in milliseconds for forwarded requests (0 = default 50)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -117,6 +132,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *timeout < 0 || *maxTimeout < 0 || *drain < 0 || *queue < 0 || *slow < 0 {
 		fmt.Fprintln(stderr, "dtsed: durations and -queue must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	if *clusterMode != "on" && *clusterMode != "off" {
+		fmt.Fprintf(stderr, "dtsed: -cluster %q invalid (want on or off)\n", *clusterMode)
+		fs.Usage()
+		return 2
+	}
+	if *hedgeMS < 0 {
+		fmt.Fprintln(stderr, "dtsed: -hedge-ms must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	var peerList []string
+	if *clusterMode == "on" {
+		if *self == "" {
+			fmt.Fprintln(stderr, "dtsed: -cluster on requires -self")
+			fs.Usage()
+			return 2
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if len(peerList) == 0 {
+			fmt.Fprintln(stderr, "dtsed: -cluster on requires at least one peer in -peers")
+			fs.Usage()
+			return 2
+		}
+	} else if *self != "" || *peers != "" {
+		fmt.Fprintln(stderr, "dtsed: -self and -peers require -cluster on")
 		fs.Usage()
 		return 2
 	}
@@ -160,6 +207,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		FlightRecorder: *flight,
 		SlowRequest:    *slow,
 	})
+	if *clusterMode == "on" {
+		if err := srv.JoinCluster(dtse.ClusterOptions{
+			Self:       *self,
+			Peers:      peerList,
+			HedgeDelay: time.Duration(*hedgeMS) * time.Millisecond,
+		}); err != nil {
+			fmt.Fprintln(stderr, "dtsed:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "dtsed: cluster mode, self %s, %d peer(s)\n", *self, len(peerList))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

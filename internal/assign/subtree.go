@@ -1,0 +1,334 @@
+// Cross-node search distribution: the branch-and-bound's canonical depth-k
+// subtree splits (see parallel.go) are deterministic functions of the
+// problem, so a split is shippable as (depth, index range, seed bound) —
+// the receiving node re-derives the identical frontier and solves its range
+// with the same worker rules. The merge is the same (cost, lowest canonical
+// subproblem index) rule as the in-process parallel merge, which extends
+// PR 4's determinism-at-any-worker-count invariant to any node count:
+// completed searches return byte-identical results whether the ranges ran
+// on one node or many.
+//
+// The incumbent exchange (BoundShare) is layered the same way the shared
+// in-process bound is: external costs prune with strict > only, so a
+// subtree that could contain a co-optimal solution is never cut by another
+// node's progress — a lost or delayed broadcast costs pruning power, never
+// correctness.
+package assign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/memlib"
+	"repro/internal/obs"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+)
+
+// BoundShare is an incumbent-cost exchange between searches of the same
+// keyed problem (hedged duplicates on other nodes, distributed subtree
+// ranges). Costs travel as math.Float64bits — non-negative costs order
+// like their bit patterns, so merging is a monotone CAS-min.
+//
+// Best may return a stale or missing bound at any time; Publish may be
+// lossy. Consumers prune with strict > against Best's value and publish
+// only costs of feasible solutions of the keyed problem (or upper bounds
+// derived from one), which is what keeps the exchange sound.
+type BoundShare interface {
+	Best(key string) (bits uint64, ok bool)
+	Publish(key string, bits uint64)
+}
+
+// SubtreeJob describes one branch-and-bound ready for distributed
+// execution. The frontier itself is not shipped: it is the canonical
+// depth-Depth prefix enumeration under the SeedBits bound, which any node
+// re-derives identically from the same problem (NumPrefixes lets the
+// receiver verify the reconstruction before solving).
+type SubtreeJob struct {
+	OnChipCount int    // memory count of the search, already clamped
+	Depth       int    // split depth of the prefix frontier
+	NumPrefixes int    // expected frontier size
+	SeedBits    uint64 // entry incumbent bound (greedy/warm), as Float64bits
+	NodeBudget  int    // per-range node budget
+	ShareKey    string // BoundShare key; empty disables the exchange
+}
+
+// SubtreeResult is the outcome of solving one contiguous prefix range.
+// Assign is group index -> memory for the range's best leaf (empty when
+// Found is false); BestSub is the canonical subproblem index that leaf was
+// found under, the deterministic tie-breaker of the merge.
+type SubtreeResult struct {
+	Found    bool
+	CostBits uint64
+	BestSub  int
+	Assign   []int
+	Nodes    int64
+	Optimal  bool
+}
+
+// DistributeFunc farms a job's prefix ranges out to peer nodes. The
+// callback must return results covering every index in [0, NumPrefixes)
+// (recomputing failed ranges itself, e.g. locally via SolveSubtree), or
+// ok=false — the search then falls back to the local path. The spec and
+// patterns are the problem identity a peer needs to rebuild the search.
+type DistributeFunc func(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, job SubtreeJob) ([]SubtreeResult, bool)
+
+// shareKey derives the full BoundShare key of this search: the caller's
+// namespace (Params.ShareKey, typically the serving layer's canonical
+// request key) plus everything that distinguishes this branch-and-bound
+// within the request — the memory count, the group set with its access
+// counts, and the conflict-pattern columns. Costs published under one key
+// must be feasible costs of exactly this problem; keying by the full
+// discriminator string (never a hash of it) is what rules out a collision
+// pruning the true optimum.
+func (pr *problem) shareKey(maxMem int) string {
+	base := pr.p.ShareKey
+	if base == "" || pr.p.Share == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(len(base) + 64*len(pr.groups))
+	sb.WriteString(base)
+	sb.WriteString("|bb|")
+	sb.WriteString(strconv.Itoa(maxMem))
+	for gi := range pr.groups {
+		g := &pr.groups[gi]
+		sb.WriteByte('|')
+		sb.WriteString(g.Name)
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(g.Words, 10))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(g.Bits))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(pr.acc[gi], 10))
+		for k, pi := range pr.patIdx[gi] {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.Itoa(pi))
+			sb.WriteByte('x')
+			sb.WriteString(strconv.Itoa(pr.patVal[gi][k]))
+		}
+		if pr.p.InPlace {
+			iv := pr.life[gi]
+			sb.WriteString(",L")
+			sb.WriteString(strconv.Itoa(iv.First))
+			sb.WriteByte('-')
+			sb.WriteString(strconv.Itoa(iv.Last))
+		}
+	}
+	return sb.String()
+}
+
+// branchAndBoundDistributed runs the on-chip search through the Distribute
+// hook. handled=false means the hook declined (too small a frontier, dead
+// context, peer failure) and the caller should run the local path instead —
+// distribution is an optimization layer, never a correctness dependency.
+func branchAndBoundDistributed(ctx context.Context, pr *problem, maxMem int, sp *obs.Span) (binds []Binding, area, power float64, optimal, handled bool, err error) {
+	d := pr.p.Distribute
+	if d == nil || pr.p.DistributeWidth < 2 || pr.s == nil {
+		return nil, 0, 0, false, false, nil
+	}
+	// Entry state: bitwise identical to the local searches — shared
+	// precomputation, greedy incumbent, optional warm-start seed.
+	pre := pr.bbPrecompute()
+	prog := pr.p.Progress
+	prog.SetBound(pre.lbTail[0] + float64(maxMem)*pre.emptyTerm)
+	gAssign, gCost, gOK := greedyIncumbent(pr, maxMem, &pre)
+	seed := math.Inf(1)
+	if gOK {
+		seed = gCost
+		prog.SetIncumbent(gCost)
+	}
+	warmed := false
+	var wAssign []int
+	if pr.p.Seed != nil {
+		if a, sCost, ok := seedIncumbent(pr, maxMem, &pre); ok {
+			if sb := math.Nextafter(sCost, math.Inf(1)); sb < seed {
+				seed, wAssign, warmed = sb, a, true
+				prog.SetIncumbent(sCost)
+			}
+		}
+	}
+	select {
+	case <-ctx.Done():
+		// An already-expired deadline wants the local anytime path, which
+		// returns the greedy incumbent immediately.
+		return nil, 0, 0, false, false, nil
+	default:
+	}
+	prefixes, depth, visited := chooseSplit(pr, maxMem, &pre, seed, pr.p.DistributeWidth)
+	if len(prefixes) < 2 {
+		return nil, 0, 0, false, false, nil
+	}
+	key := pr.shareKey(maxMem)
+	if key != "" && gOK {
+		// Seed the exchange with the entry bound so peers start tight.
+		pr.p.Share.Publish(key, math.Float64bits(seed))
+	}
+	job := SubtreeJob{
+		OnChipCount: maxMem,
+		Depth:       depth,
+		NumPrefixes: len(prefixes),
+		SeedBits:    math.Float64bits(seed),
+		NodeBudget:  pr.p.NodeBudget,
+		ShareKey:    key,
+	}
+	results, ok := d(ctx, pr.s, pr.pats, job)
+	if !ok {
+		return nil, 0, 0, false, false, nil
+	}
+
+	// Deterministic merge: same rule as the in-process parallel merge —
+	// minimum cost, ties by lowest canonical subproblem index, greedy at
+	// -1, the warm seed at MaxInt (ranges record only strict improvements
+	// below the seed bound, so any range candidate beats it on cost alone).
+	bestCost := math.Inf(1)
+	var bestAssign []int
+	bestSub := math.MaxInt
+	if gOK {
+		bestCost, bestAssign, bestSub = gCost, gAssign, -1
+	}
+	if warmed {
+		bestCost, bestAssign, bestSub = seed, wAssign, math.MaxInt
+	}
+	optimal = true
+	nodes := int64(visited)
+	prog.AddNodes(int64(visited))
+	for i := range results {
+		r := &results[i]
+		nodes += r.Nodes
+		if !r.Optimal {
+			optimal = false
+		}
+		if !r.Found {
+			continue
+		}
+		if len(r.Assign) != len(pr.groups) {
+			return nil, 0, 0, false, false, nil // malformed result: fall back to local
+		}
+		c := math.Float64frombits(r.CostBits)
+		if c < bestCost || (c == bestCost && r.BestSub < bestSub) {
+			bestCost, bestAssign, bestSub = c, r.Assign, r.BestSub
+		}
+	}
+	if sp != nil {
+		sp.SetInt("nodes", nodes)
+		sp.SetInt("subtree_splits", int64(len(prefixes)))
+		sp.SetInt("split_depth", int64(depth))
+		sp.SetInt("distributed", 1)
+		opt := int64(0)
+		if optimal {
+			opt = 1
+		}
+		sp.SetInt("optimal", opt)
+		o := sp.Observer()
+		o.Counter("assign.nodes").Add(nodes)
+		o.Counter("assign.subtree_splits").Add(int64(len(prefixes)))
+		o.Counter("assign.distributed_searches").Add(1)
+		if pr.p.Seed != nil {
+			if warmed {
+				o.Counter("assign.incumbent_seeded").Add(1)
+			} else {
+				o.Counter("assign.seed_rejected").Add(1)
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, 0, 0, false, true, fmt.Errorf(
+			"assign: no feasible on-chip assignment with %d memories (conflicts demand more)", maxMem)
+	}
+	binds, area, power, err = materializeOnChip(pr, maxMem, bestAssign)
+	if err != nil {
+		return nil, 0, 0, false, true, err
+	}
+	return binds, area, power, optimal, true, nil
+}
+
+// SolveSubtree solves the contiguous prefix range [from, to) of a
+// distributed branch-and-bound on this node: it rebuilds the problem from
+// the spec/patterns/tech triple, re-derives the canonical depth-Depth
+// frontier under the job's seed bound (verifying it matches NumPrefixes),
+// and runs the standard subtree workers over the range. The result merges
+// into the front node's search under the deterministic (cost, index) rule.
+//
+// p carries the same knobs the front node's Params did (threshold, ports,
+// in-place, worker pool, BoundShare); NodeBudget is taken from the job.
+func SolveSubtree(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, tech *memlib.Tech, p Params, job SubtreeJob, from, to int) (SubtreeResult, error) {
+	p.normalize()
+	p.NodeBudget = job.NodeBudget
+	onG, _ := partition(s, p)
+	pr := buildProblem(s, onG, pats, tech, p)
+	n := len(pr.groups)
+	maxMem := job.OnChipCount
+	if n == 0 || maxMem < 1 || maxMem > n {
+		return SubtreeResult{}, fmt.Errorf("assign: subtree job count %d infeasible for %d on-chip groups", maxMem, n)
+	}
+	if job.Depth < 1 || job.Depth >= n {
+		return SubtreeResult{}, fmt.Errorf("assign: subtree depth %d out of range for %d groups", job.Depth, n)
+	}
+	pre := pr.bbPrecompute()
+	seed := math.Float64frombits(job.SeedBits)
+	mems := newMemStates(pr, maxMem)
+	prefixes, visited := bbPrefixes(pr, maxMem, job.Depth, &pre, seed, mems)
+	if len(prefixes) != job.NumPrefixes {
+		return SubtreeResult{}, fmt.Errorf(
+			"assign: frontier mismatch: rebuilt %d prefixes, job expects %d (diverged problem state)",
+			len(prefixes), job.NumPrefixes)
+	}
+	if from < 0 || to > len(prefixes) || from >= to {
+		return SubtreeResult{}, fmt.Errorf("assign: subtree range [%d,%d) out of [0,%d)", from, to, len(prefixes))
+	}
+
+	sh := &bbShared{}
+	sh.bound.Store(job.SeedBits)
+	sh.nodes.Store(int64(visited))
+	sh.nextSub.Store(int64(from))
+	if p.Share != nil && job.ShareKey != "" {
+		sh.share, sh.key = p.Share, job.ShareKey
+		sh.refreshExternal()
+	}
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return SubtreeResult{Nodes: int64(visited)}, nil // anytime: nothing found, not optimal
+		default:
+		}
+	}
+	nw := 1
+	if wp := p.Workers; wp.Workers() > 1 {
+		nw = wp.Workers()
+	}
+	if nw > to-from {
+		nw = to - from
+	}
+	workers := make([]*bbWorker, nw)
+	for i := range workers {
+		workers[i] = newBBWorker(pr, &pre, sh, maxMem, seed, done)
+	}
+	ranged := prefixes[:to]
+	if nw > 1 {
+		p.Workers.ForEach(ctx, nw, func(i int) { workers[i].run(ranged) })
+	} else {
+		workers[0].run(ranged)
+	}
+
+	res := SubtreeResult{CostBits: math.Float64bits(math.Inf(1)), BestSub: math.MaxInt}
+	nodes := int64(visited)
+	bestCost := math.Inf(1)
+	for _, w := range workers {
+		nodes += w.nodes
+		if w.found && (w.bestCost < bestCost || (w.bestCost == bestCost && w.bestSub < res.BestSub)) {
+			bestCost = w.bestCost
+			res.Found = true
+			res.CostBits = math.Float64bits(w.bestCost)
+			res.BestSub = w.bestSub
+			res.Assign = w.bestAssign
+		}
+	}
+	res.Nodes = nodes
+	res.Optimal = sh.state.Load() == 0
+	return res, nil
+}

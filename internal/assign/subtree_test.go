@@ -1,0 +1,190 @@
+package assign
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/memlib"
+	"repro/internal/pool"
+	"repro/internal/sbd"
+	"repro/internal/spec"
+)
+
+// inProcessDistributor simulates a cluster: it splits the job's prefix
+// frontier into `nodes` contiguous ranges and solves each with a fresh
+// SolveSubtree — each range rebuilds the problem from the wire-level
+// (spec, patterns, job) triple exactly as a remote peer would.
+func inProcessDistributor(t *testing.T, tech *memlib.Tech, nodes, workers int) DistributeFunc {
+	return func(ctx context.Context, s *spec.Spec, pats []sbd.Pattern, job SubtreeJob) ([]SubtreeResult, bool) {
+		n := nodes
+		if job.NumPrefixes < n {
+			n = job.NumPrefixes
+		}
+		results := make([]SubtreeResult, n)
+		per, rem, at := job.NumPrefixes/n, job.NumPrefixes%n, 0
+		for i := 0; i < n; i++ {
+			sz := per
+			if i < rem {
+				sz++
+			}
+			res, err := SolveSubtree(ctx, s, pats, tech, Params{Workers: pool.New(workers)}, job, at, at+sz)
+			if err != nil {
+				t.Fatalf("SolveSubtree[%d,%d): %v", at, at+sz, err)
+			}
+			results[i] = res
+			at += sz
+		}
+		return results, true
+	}
+}
+
+// TestDistributedMatchesLocal is the determinism-at-any-node-count
+// property at the search layer: over random instances, a search whose
+// subtree ranges are solved by independent problem rebuilds (as remote
+// peers would) returns results deeply equal to the plain local search.
+func TestDistributedMatchesLocal(t *testing.T) {
+	tech := memlib.Default()
+	for seed := int64(0); seed < 10; seed++ {
+		s, pats := randomInstance(seed)
+		for _, count := range []int{2, 3} {
+			ref, refErr := Assign(s, pats, tech, count, Params{})
+			for _, nodes := range []int{2, 3} {
+				p := Params{
+					Distribute:      inProcessDistributor(t, tech, nodes, 2),
+					DistributeWidth: nodes,
+				}
+				got, err := Assign(s, pats, tech, count, p)
+				if (refErr == nil) != (err == nil) {
+					t.Fatalf("seed %d count %d nodes %d: err %v, local err %v", seed, count, nodes, err, refErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				if !ref.Optimal || !got.Optimal {
+					t.Fatalf("seed %d count %d nodes %d: incomplete search (ref %v, got %v)",
+						seed, count, nodes, ref.Optimal, got.Optimal)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("seed %d count %d nodes %d: distributed result diverged\n got: %+v\nwant: %+v",
+						seed, count, nodes, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributeDeclineFallsBack: a hook that always declines must leave
+// the search identical to having no hook at all.
+func TestDistributeDeclineFallsBack(t *testing.T) {
+	tech := memlib.Default()
+	s, pats := randomInstance(1)
+	ref, err := Assign(s, pats, tech, 2, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decline := func(context.Context, *spec.Spec, []sbd.Pattern, SubtreeJob) ([]SubtreeResult, bool) {
+		return nil, false
+	}
+	got, err := Assign(s, pats, tech, 2, Params{Distribute: decline, DistributeWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("declined distribution diverged from local:\n got: %+v\nwant: %+v", got, ref)
+	}
+}
+
+// recordingShare captures the minimum cost bits published by a search.
+type recordingShare struct {
+	mu  sync.Mutex
+	min uint64
+	has bool
+}
+
+func (r *recordingShare) Best(string) (uint64, bool) { return 0, false }
+func (r *recordingShare) Publish(_ string, bits uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.has || bits < r.min {
+		r.min, r.has = bits, true
+	}
+}
+
+// staticShare answers every Best with a fixed external bound and swallows
+// publishes — the adversarial "peer already knows the optimum" case.
+type staticShare struct{ bits uint64 }
+
+func (s staticShare) Best(string) (uint64, bool) { return s.bits, true }
+func (s staticShare) Publish(string, uint64)     {}
+
+// TestShareExternalOptimalBoundKeepsResults is the co-optimality safety
+// property of cross-node incumbent sharing: an external bound equal to the
+// true optimal cost (the tightest bound a correct peer can ever publish)
+// must not change a completed search's result in any way — external bounds
+// prune strictly worse subtrees only.
+func TestShareExternalOptimalBoundKeepsResults(t *testing.T) {
+	tech := memlib.Default()
+	for seed := int64(0); seed < 8; seed++ {
+		s, pats := randomInstance(seed)
+		for _, count := range []int{2, 3} {
+			ref, refErr := Assign(s, pats, tech, count, Params{})
+			if refErr != nil || !ref.Optimal {
+				continue
+			}
+			// Capture the search-internal optimal cost via the publishes of a
+			// plain run.
+			rec := &recordingShare{}
+			if _, err := Assign(s, pats, tech, count, Params{Share: rec, ShareKey: "t"}); err != nil {
+				t.Fatal(err)
+			}
+			if !rec.has {
+				t.Fatalf("seed %d count %d: search published no incumbent", seed, count)
+			}
+			for _, workers := range []int{1, 4} {
+				p := Params{Share: staticShare{rec.min}, ShareKey: "t", Workers: pool.New(workers)}
+				got, err := Assign(s, pats, tech, count, p)
+				if err != nil {
+					t.Fatalf("seed %d count %d workers %d: %v", seed, count, workers, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("seed %d count %d workers %d: external optimal bound changed the result\n got: %+v\nwant: %+v",
+						seed, count, workers, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveSubtreeRejectsFrontierMismatch: a job whose NumPrefixes does not
+// match the canonically re-derived frontier must error, not silently solve
+// a different split.
+func TestSolveSubtreeRejectsFrontierMismatch(t *testing.T) {
+	tech := memlib.Default()
+	s, pats := randomInstance(0)
+	var job SubtreeJob
+	probe := func(_ context.Context, _ *spec.Spec, _ []sbd.Pattern, j SubtreeJob) ([]SubtreeResult, bool) {
+		job = j
+		return nil, false // decline; we only wanted the job description
+	}
+	if _, err := Assign(s, pats, tech, 2, Params{Distribute: probe, DistributeWidth: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if job.NumPrefixes < 2 {
+		t.Skip("instance produced no distributable frontier")
+	}
+	bad := job
+	bad.NumPrefixes++
+	if _, err := SolveSubtree(context.Background(), s, pats, tech, Params{}, bad, 0, 1); err == nil {
+		t.Fatal("SolveSubtree accepted a mismatched frontier")
+	}
+	// And the honest job solves.
+	res, err := SolveSubtree(context.Background(), s, pats, tech, Params{}, job, 0, job.NumPrefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("full-range subtree solve should complete under the default budget")
+	}
+}

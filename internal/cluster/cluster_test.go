@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memo"
+)
+
+// --- ring ---
+
+func TestRingAgreementAcrossMemberOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"})
+	b := NewRing([]string{"n3", "n1", "n2", "n1"}) // shuffled, with a duplicate
+	for i := 0; i < 1000; i++ {
+		key := memo.Fingerprint64(fmt.Sprintf("key-%d", i))
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("ring views disagree for key %d: %q vs %q", key, ao, bo)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(memo.Fingerprint64(fmt.Sprintf("key-%d", i)))]++
+	}
+	for _, m := range r.Members() {
+		if frac := float64(counts[m]) / n; frac < 0.20 || frac > 0.47 {
+			t.Fatalf("member %s owns %.1f%% of keys; want a roughly even split", m, 100*frac)
+		}
+	}
+}
+
+func TestRingWalkProperties(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"})
+	for i := 0; i < 200; i++ {
+		key := memo.Fingerprint64(fmt.Sprintf("key-%d", i))
+		walk := r.Walk(key)
+		if len(walk) != 4 {
+			t.Fatalf("walk has %d members, want 4", len(walk))
+		}
+		if walk[0] != r.Owner(key) {
+			t.Fatalf("walk starts at %q, owner is %q", walk[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range walk {
+			if seen[m] {
+				t.Fatalf("walk repeats member %q", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// --- router helpers ---
+
+// keyOwnedBy finds a key whose ring walk starts at member with every other
+// remote peer also preceding self (so failover stays remote in tests).
+func keyOwnedBy(t *testing.T, r *Router, member string) uint64 {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		key := memo.Fingerprint64(fmt.Sprintf("probe-%d", i))
+		cands := r.candidates(key)
+		if len(cands) == len(r.peers) && cands[0].id == member {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %s found", member)
+	return 0
+}
+
+func newTestRouter(t *testing.T, peers []string, cfg Config) *Router {
+	t.Helper()
+	cfg.Self = "http://self.invalid"
+	cfg.Peers = peers
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestForwardRoutesToOwner(t *testing.T) {
+	var hitA, hitB atomic.Int64
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitA.Add(1)
+		w.Write([]byte("from-a"))
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitB.Add(1)
+		w.Write([]byte("from-b"))
+	}))
+	defer b.Close()
+	r := newTestRouter(t, []string{a.URL, b.URL}, Config{})
+	key := keyOwnedBy(t, r, a.URL)
+	res, ok := r.Forward(context.Background(), key, http.MethodPost, "/x", []byte("{}"), nil)
+	if !ok {
+		t.Fatal("forward failed")
+	}
+	if res.Peer != a.URL || string(res.Body) != "from-a" || res.Hedged {
+		t.Fatalf("got peer=%s body=%q hedged=%v; want the owner a, unhedged", res.Peer, res.Body, res.Hedged)
+	}
+	if hitB.Load() != 0 {
+		t.Fatalf("non-owner served %d requests", hitB.Load())
+	}
+}
+
+func TestForwardHedgesSlowPeer(t *testing.T) {
+	release := make(chan struct{})
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // the owner hangs until the test ends
+		w.Write([]byte("from-a"))
+	}))
+	defer a.Close()
+	defer close(release)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("from-b"))
+	}))
+	defer b.Close()
+	r := newTestRouter(t, []string{a.URL, b.URL}, Config{HedgeDelay: 10 * time.Millisecond})
+	key := keyOwnedBy(t, r, a.URL)
+	res, ok := r.Forward(context.Background(), key, http.MethodPost, "/x", []byte("{}"), nil)
+	if !ok {
+		t.Fatal("forward failed")
+	}
+	if res.Peer != b.URL || !res.Hedged {
+		t.Fatalf("got peer=%s hedged=%v; want the hedge target b", res.Peer, res.Hedged)
+	}
+}
+
+func TestForwardFailsOverAndEjects(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("from-b"))
+	}))
+	defer b.Close()
+	r := newTestRouter(t, []string{a.URL, b.URL}, Config{EjectAfter: 3, EjectFor: time.Hour})
+	key := keyOwnedBy(t, r, a.URL)
+	for i := 0; i < 3; i++ {
+		res, ok := r.Forward(context.Background(), key, http.MethodPost, "/x", []byte("{}"), nil)
+		if !ok || res.Peer != b.URL {
+			t.Fatalf("attempt %d: ok=%v peer=%v; want failover to b", i, ok, res)
+		}
+	}
+	if r.peers[a.URL].alive(time.Now()) {
+		t.Fatal("peer a should be ejected after 3 consecutive failures")
+	}
+	// An ejected owner's keys fall through the walk without contacting it.
+	res, ok := r.Forward(context.Background(), key, http.MethodPost, "/x", []byte("{}"), nil)
+	if !ok || res.Hedged {
+		t.Fatalf("post-ejection forward: ok=%v res=%+v; want a direct (unhedged) answer from b", ok, res)
+	}
+}
+
+func TestPeerRejoinsAfterWindow(t *testing.T) {
+	p := &Peer{id: "x"}
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		p.fail(3, 50*time.Millisecond, now)
+	}
+	if p.alive(now) {
+		t.Fatal("peer should be down right after ejection")
+	}
+	if !p.alive(now.Add(100 * time.Millisecond)) {
+		t.Fatal("peer should be half-open after the ejection window")
+	}
+	p.ok(time.Millisecond)
+	if !p.alive(now) {
+		t.Fatal("a successful probe should fully revive the peer")
+	}
+}
+
+func TestOwnershipShiftsWithLiveness(t *testing.T) {
+	r := newTestRouter(t, []string{"http://a.invalid", "http://b.invalid"}, Config{EjectAfter: 1, EjectFor: time.Hour})
+	key := keyOwnedBy(t, r, "http://a.invalid")
+	if r.Owns(key) {
+		t.Fatal("self should not own a peer's key while the peer is up")
+	}
+	now := time.Now()
+	r.peers["http://a.invalid"].fail(1, time.Hour, now)
+	r.peers["http://b.invalid"].fail(1, time.Hour, now)
+	if !r.Owns(key) {
+		t.Fatal("self should inherit the key once every preceding walk member is down")
+	}
+}
+
+// --- board ---
+
+func TestBoardMonotoneMerge(t *testing.T) {
+	b := NewBoard(0, nil)
+	key := "k"
+	if !b.Merge(key, math.Float64bits(10)) {
+		t.Fatal("first merge should improve")
+	}
+	if b.Merge(key, math.Float64bits(11)) {
+		t.Fatal("a worse cost should not improve the board")
+	}
+	if !b.Merge(key, math.Float64bits(9)) {
+		t.Fatal("a better cost should improve the board")
+	}
+	bits, ok := b.Best(key)
+	if !ok || math.Float64frombits(bits) != 9 {
+		t.Fatalf("best = %v,%v; want 9", math.Float64frombits(bits), ok)
+	}
+	if b.Merge(key, math.Float64bits(math.NaN())) {
+		t.Fatal("NaN must be rejected")
+	}
+}
+
+func TestBoardNotifyOnPublishOnly(t *testing.T) {
+	var notified atomic.Int64
+	b := NewBoard(0, func(string, uint64) { notified.Add(1) })
+	b.Publish("k", math.Float64bits(5))
+	if notified.Load() != 1 {
+		t.Fatalf("publish notified %d times, want 1", notified.Load())
+	}
+	b.Publish("k", math.Float64bits(6)) // no improvement: no notify
+	b.Merge("k", math.Float64bits(1))   // remote merge: never notifies (no echo)
+	if notified.Load() != 1 {
+		t.Fatalf("notified %d times total, want 1", notified.Load())
+	}
+}
+
+func TestBoardBounded(t *testing.T) {
+	b := NewBoard(4, nil)
+	for i := 0; i < 10; i++ {
+		b.Merge(fmt.Sprintf("k%d", i), math.Float64bits(float64(i+1)))
+	}
+	if len(b.best) != 4 || len(b.order) != 4 {
+		t.Fatalf("board holds %d/%d entries, want 4", len(b.best), len(b.order))
+	}
+	if _, ok := b.Best("k0"); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if _, ok := b.Best("k9"); !ok {
+		t.Fatal("newest entry should be present")
+	}
+}

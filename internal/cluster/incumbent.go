@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+)
+
+// Board is the cross-node incumbent exchange: the best known feasible cost
+// per search key, as math.Float64bits (non-negative costs order like their
+// bit patterns, so merging is a monotone min). It implements
+// assign.BoundShare.
+//
+// The exchange is best-effort and loss-tolerant by design: a missing or
+// stale entry only costs pruning power, never correctness, because
+// consumers prune with strict > against it — a bound that is a real
+// feasible cost of the same keyed problem can never cut a co-optimal
+// subtree (see internal/assign). Entries are keyed by the full canonical
+// problem string, not a hash of it, so a collision can never smuggle a
+// foreign problem's cost into a search.
+type Board struct {
+	mu    sync.Mutex
+	best  map[string]uint64
+	order []string // FIFO eviction order
+	cap   int
+
+	// notify, when set, is called (outside the lock) for every local
+	// Publish that improved the board — the server's broadcast hook.
+	notify func(key string, bits uint64)
+}
+
+// defaultBoardCap bounds the board; a hint store, sized like the warm
+// index.
+const defaultBoardCap = 1024
+
+// NewBoard builds a Board. capacity <= 0 uses the default; notify may be
+// nil.
+func NewBoard(capacity int, notify func(key string, bits uint64)) *Board {
+	if capacity <= 0 {
+		capacity = defaultBoardCap
+	}
+	return &Board{best: make(map[string]uint64), cap: capacity, notify: notify}
+}
+
+// Len reports how many incumbents the board currently holds.
+func (b *Board) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.best)
+}
+
+// Best returns the best known cost bits for key.
+func (b *Board) Best(key string) (uint64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bits, ok := b.best[key]
+	return bits, ok
+}
+
+// merge lowers key's entry to bits if smaller, reporting improvement.
+func (b *Board) merge(key string, bits uint64) bool {
+	if math.IsNaN(math.Float64frombits(bits)) {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.best[key]
+	if ok && cur <= bits {
+		return false
+	}
+	if !ok {
+		if len(b.order) >= b.cap {
+			delete(b.best, b.order[0])
+			b.order = b.order[1:]
+		}
+		b.order = append(b.order, key)
+	}
+	b.best[key] = bits
+	return true
+}
+
+// Publish records a locally-found incumbent cost and, when it improves the
+// board, notifies the broadcast hook. Called from the search hot path only
+// on global incumbent improvements, which are rare.
+func (b *Board) Publish(key string, bits uint64) {
+	if b.merge(key, bits) && b.notify != nil {
+		b.notify(key, bits)
+	}
+}
+
+// Merge records a peer-broadcast incumbent cost without re-broadcasting
+// (the origin node already fanned it out; re-notifying would echo forever).
+// It reports whether the entry improved.
+func (b *Board) Merge(key string, bits uint64) bool {
+	return b.merge(key, bits)
+}

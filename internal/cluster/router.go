@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults for the health/hedging policy. All are overridable via Config.
+const (
+	// defaultHedgeDelay is the hedge floor/fallback: with too few latency
+	// samples for a p99 the router hedges after this long.
+	defaultHedgeDelay = 50 * time.Millisecond
+	// maxHedgeDelay caps the p99-derived hedge delay so one pathological
+	// request cannot disable hedging for the rest of the run.
+	maxHedgeDelay = 2 * time.Second
+	// hedgeMinSamples is the per-peer sample count below which the p99 is
+	// noise and the configured floor is used instead.
+	hedgeMinSamples = 16
+	// defaultEjectAfter consecutive failures mark a peer down.
+	defaultEjectAfter = 3
+	// defaultEjectFor is how long a down peer stays out of the ring walk
+	// before a half-open probe may rejoin it.
+	defaultEjectFor = 2 * time.Second
+	// maxPeerResponse bounds a forwarded response body read.
+	maxPeerResponse = 32 << 20
+)
+
+// Config configures a Router.
+type Config struct {
+	// Self is this node's advertised base URL (scheme://host:port).
+	Self string
+	// Peers is the full cluster membership, self included or not (it is
+	// added). Every node must be configured with the same set.
+	Peers []string
+	// HedgeDelay is the hedge floor and small-sample fallback; 0 means
+	// defaultHedgeDelay. The live delay per peer is max(HedgeDelay,
+	// that peer's observed p99), capped at maxHedgeDelay.
+	HedgeDelay time.Duration
+	// EjectAfter / EjectFor tune health-gated ejection; 0 means defaults.
+	EjectAfter int
+	EjectFor   time.Duration
+	// Obs receives the dtse_cluster_* counters and per-peer latency
+	// histograms; nil disables that telemetry.
+	Obs *obs.Observer
+	// Client is the forwarding HTTP client; nil uses a default with
+	// connection pooling.
+	Client *http.Client
+}
+
+// Peer is one remote member's health and latency state.
+type Peer struct {
+	id   string
+	hist *obs.Histogram // forwarded-request RTT, microseconds
+
+	mu        sync.Mutex
+	fails     int // consecutive failures
+	downUntil time.Time
+	probing   bool // one half-open probe in flight
+}
+
+// ID returns the peer's member URL.
+func (p *Peer) ID() string { return p.id }
+
+// alive reports whether the peer is in the ring walk. A down peer whose
+// ejection window has passed is half-open: the first caller to ask gets it
+// back (as a probe); success resets it, failure re-ejects it.
+func (p *Peer) alive(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.downUntil.IsZero() || now.After(p.downUntil) {
+		return true
+	}
+	return false
+}
+
+func (p *Peer) ok(rtt time.Duration) {
+	p.hist.ObserveUS(rtt.Microseconds())
+	p.mu.Lock()
+	p.fails = 0
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+}
+
+// fail records one failure; it returns true when this failure ejected the
+// peer (crossed the threshold while previously alive).
+func (p *Peer) fail(after int, window time.Duration, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails++
+	if p.fails >= after {
+		wasUp := p.downUntil.IsZero() || now.After(p.downUntil)
+		p.downUntil = now.Add(window)
+		return wasUp
+	}
+	return false
+}
+
+// hedgeDelay derives the peer's hedge delay from its observed p99, clamped
+// to [floor, maxHedgeDelay]. Few samples → floor.
+func (p *Peer) hedgeDelay(floor time.Duration) time.Duration {
+	snap := p.hist.Snapshot()
+	if snap.Count < hedgeMinSamples {
+		return floor
+	}
+	d := time.Duration(snap.P99US) * time.Microsecond
+	if d < floor {
+		d = floor
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}
+
+// Router owns the ring view plus per-peer health, and forwards requests to
+// their owners with hedged retries.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	self   string
+	peers  map[string]*Peer // remote members only
+	obs    *obs.Observer
+	client *http.Client
+}
+
+// New builds a Router. Self must be non-empty; the member set is
+// peers ∪ {self} and must contain at least self.
+func New(cfg Config) (*Router, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: self URL must be set")
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = defaultHedgeDelay
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = defaultEjectAfter
+	}
+	if cfg.EjectFor <= 0 {
+		cfg.EjectFor = defaultEjectFor
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	r := &Router{
+		cfg:    cfg,
+		ring:   NewRing(members),
+		self:   cfg.Self,
+		peers:  make(map[string]*Peer),
+		obs:    cfg.Obs,
+		client: cfg.Client,
+	}
+	if r.client == nil {
+		r.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	for _, m := range r.ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		p := &Peer{id: m}
+		if r.obs != nil {
+			p.hist = r.obs.Histogram(obs.Label("cluster.peer_rtt", "peer", m))
+		} else {
+			p.hist = obs.NewHistogram()
+		}
+		r.peers[m] = p
+	}
+	return r, nil
+}
+
+// Self returns this node's member URL.
+func (r *Router) Self() string { return r.self }
+
+// Members returns the full sorted member set (self included).
+func (r *Router) Members() []string { return r.ring.Members() }
+
+// Peers returns the remote peers keyed by member URL.
+func (r *Router) Peers() map[string]*Peer { return r.peers }
+
+// Owns reports whether this node should serve key right now: self is the
+// first *alive* member in the key's ring walk. Liveness shifts ownership —
+// when a peer is ejected its keys fall through to the next walk member —
+// and shifts it back on rejoin, which is exactly the predicate the warm
+// index uses to refuse seeds from fingerprints it no longer owns.
+func (r *Router) Owns(key uint64) bool {
+	now := time.Now()
+	for _, m := range r.ring.Walk(key) {
+		if m == r.self {
+			return true
+		}
+		if p := r.peers[m]; p != nil && p.alive(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the alive remote peers preceding self in key's ring
+// walk — the forwarding preference order. Empty means self owns the key
+// (or every preceding peer is down and the key fell through to self).
+func (r *Router) candidates(key uint64) []*Peer {
+	now := time.Now()
+	var out []*Peer
+	for _, m := range r.ring.Walk(key) {
+		if m == r.self {
+			break
+		}
+		if p := r.peers[m]; p != nil && p.alive(now) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PeerResult is one successful forwarded exchange.
+type PeerResult struct {
+	Status int
+	Body   []byte
+	Peer   string // member URL that answered
+	Hedged bool   // a hedge or retry fired before this answer
+}
+
+// counter bumps a cluster counter when telemetry is wired.
+func (r *Router) counter(name string, n int64) {
+	if r.obs != nil {
+		r.obs.Counter(name).Add(n)
+	}
+}
+
+// Forward sends the request to key's owner with hedged retries down the
+// ring walk: the preferred peer first, the next ring node when the peer is
+// slower than its p99-derived hedge delay, the next again on transport
+// errors or 5xx/429, until a peer answers or the candidate list is
+// exhausted. ok=false means no peer could answer — the caller falls back
+// to running the request locally, so a fully-dead peer set degrades to
+// single-node behaviour instead of failing requests.
+//
+// A response with status < 500 (other than 429) is an answer: 4xx from a
+// peer is the deterministic response to a bad request, not a peer failure.
+func (r *Router) Forward(ctx context.Context, key uint64, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
+	cands := r.candidates(key)
+	if len(cands) == 0 {
+		return nil, false
+	}
+	return r.forwardCands(ctx, cands, method, path, body, hdr)
+}
+
+// forwardCands runs the hedged attempt loop over an explicit candidate
+// order.
+func (r *Router) forwardCands(ctx context.Context, cands []*Peer, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
+	type attempt struct {
+		peer  *Peer
+		res   *PeerResult
+		err   error
+		start time.Time
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel() // kill the losing attempts
+	ch := make(chan attempt, len(cands))
+	launched := 0
+	launch := func(p *Peer) {
+		launched++
+		go func() {
+			start := time.Now()
+			req, err := http.NewRequestWithContext(actx, method, p.id+path, bytes.NewReader(body))
+			if err != nil {
+				ch <- attempt{peer: p, err: err, start: start}
+				return
+			}
+			for k, vs := range hdr {
+				req.Header[k] = vs
+			}
+			resp, err := r.client.Do(req)
+			if err != nil {
+				ch <- attempt{peer: p, err: err, start: start}
+				return
+			}
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+			resp.Body.Close()
+			if err != nil {
+				ch <- attempt{peer: p, err: err, start: start}
+				return
+			}
+			if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+				ch <- attempt{peer: p, err: fmt.Errorf("peer status %d", resp.StatusCode), start: start}
+				return
+			}
+			ch <- attempt{peer: p, res: &PeerResult{Status: resp.StatusCode, Body: b, Peer: p.id}, start: start}
+		}()
+	}
+	launch(cands[0])
+	timer := time.NewTimer(cands[0].hedgeDelay(r.cfg.HedgeDelay))
+	defer timer.Stop()
+	hedged := false
+	for done := 0; done < launched || launched < len(cands); {
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case <-timer.C:
+			if launched < len(cands) {
+				hedged = true
+				r.counter("cluster.hedged", 1)
+				next := cands[launched]
+				launch(next)
+				timer.Reset(next.hedgeDelay(r.cfg.HedgeDelay))
+				continue
+			}
+			// The candidate list ends where self enters the ring walk, so
+			// the hedge past the last candidate is a hedge to self: give up
+			// on forwarding (canceling the stragglers) and let the caller
+			// run the request locally. This is what guarantees completion
+			// when every preceding peer is gray-failed — accepting
+			// connections but never answering — which ejection alone cannot
+			// detect.
+			r.counter("cluster.hedged", 1)
+			return nil, false
+		case a := <-ch:
+			done++
+			if a.err == nil {
+				a.peer.ok(time.Since(a.start))
+				a.res.Hedged = hedged
+				return a.res, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			r.counter("cluster.peer_errors", 1)
+			if a.peer.fail(r.cfg.EjectAfter, r.cfg.EjectFor, time.Now()) {
+				r.counter("cluster.ejected", 1)
+			}
+			if launched < len(cands) {
+				hedged = true
+				next := cands[launched]
+				launch(next)
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(next.hedgeDelay(r.cfg.HedgeDelay))
+			} else if done == launched {
+				return nil, false
+			}
+		}
+	}
+	return nil, false
+}
+
+// PreferredPeer returns the first alive remote peer in key's ring walk
+// before self, if any — the batch planner's grouping key.
+func (r *Router) PreferredPeer(key uint64) (string, bool) {
+	c := r.candidates(key)
+	if len(c) == 0 {
+		return "", false
+	}
+	return c[0].id, true
+}
+
+// ForwardAny forwards to primary first, hedging across every other alive
+// peer in id order. Any node can serve any request — ownership only
+// optimizes cache affinity — so batch sub-groups and subtree jobs may fail
+// over to an arbitrary peer rather than walking the ring.
+func (r *Router) ForwardAny(ctx context.Context, primary, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
+	cands := make([]*Peer, 0, len(r.peers))
+	if p := r.peers[primary]; p != nil {
+		cands = append(cands, p)
+	}
+	ids := make([]string, 0, len(r.peers))
+	for id := range r.peers {
+		if id != primary {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cands = append(cands, r.peers[id])
+	}
+	return r.forwardList(ctx, cands, method, path, body, hdr)
+}
+
+// AlivePeers returns the alive remote peers in id order.
+func (r *Router) AlivePeers() []*Peer {
+	now := time.Now()
+	ids := make([]string, 0, len(r.peers))
+	for id, p := range r.peers {
+		if p.alive(now) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]*Peer, len(ids))
+	for i, id := range ids {
+		out[i] = r.peers[id]
+	}
+	return out
+}
+
+// Client exposes the pooled forwarding client for auxiliary traffic
+// (incumbent broadcasts).
+func (r *Router) Client() *http.Client { return r.client }
+
+func (r *Router) forwardList(ctx context.Context, cands []*Peer, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
+	// Deduplicate while preserving order; drop dead peers.
+	now := time.Now()
+	seen := make(map[*Peer]bool, len(cands))
+	var live []*Peer
+	for _, p := range cands {
+		if p == nil || seen[p] || !p.alive(now) {
+			continue
+		}
+		seen[p] = true
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return nil, false
+	}
+	return r.forwardCands(ctx, live, method, path, body, hdr)
+}

@@ -175,11 +175,13 @@ func (s *space) lock(sh *shard) {
 	sh.mu.Lock()
 }
 
-// shardIndex is the one FNV-1a over both key forms: Do (string keys) and
-// DoKey (byte keys) must address the same shard for equal key bytes, or the
-// singleflight/dedup guarantee between the two paths breaks. Generic over
-// the key form so neither path allocates a conversion.
-func shardIndex[K ~string | ~[]byte](key K) uint64 {
+// Fingerprint64 is the cache's canonical 64-bit key fingerprint: FNV-1a
+// over the key bytes. It is the one hash behind shard addressing here and
+// consistent-hash request routing in cluster mode — sharing it means a
+// request's ring owner is also the node whose session/disk cache and
+// warm-start index accumulate that key's neighbourhood. Generic over the
+// key form so neither caller allocates a conversion.
+func Fingerprint64[K ~string | ~[]byte](key K) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -189,7 +191,14 @@ func shardIndex[K ~string | ~[]byte](key K) uint64 {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return h & (shardCount - 1)
+	return h
+}
+
+// shardIndex folds the fingerprint to the shard mask. Do (string keys) and
+// DoKey (byte keys) must address the same shard for equal key bytes, or the
+// singleflight/dedup guarantee between the two paths breaks.
+func shardIndex[K ~string | ~[]byte](key K) uint64 {
+	return Fingerprint64(key) & (shardCount - 1)
 }
 
 // shardFor picks the shard of a key (FNV-1a folded to the shard mask).

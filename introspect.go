@@ -226,6 +226,11 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		p.Counter("flightrecorder.recorded", total)
 		p.Gauge("flightrecorder.entries", int64(s.flight.size()))
 	}
+	if cs := s.cluster; cs != nil {
+		p.Gauge("cluster.peers", int64(len(cs.router.Peers())))
+		p.Gauge("cluster.peers_alive", int64(len(cs.router.AlivePeers())))
+		p.Gauge("cluster.incumbents", int64(cs.board.Len()))
+	}
 	p.HistogramSeries("request_duration", "", s.reqHist.Snapshot())
 
 	if s.memo != nil {

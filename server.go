@@ -120,6 +120,7 @@ type Server struct {
 	workers *pool.Pool
 	mux     *http.ServeMux
 	warm    *warmIndex // nearest-neighbour seeds; nil when disabled
+	cluster *clusterState // nil outside cluster mode (see cluster_server.go)
 
 	// baseCtx parents every request context; Abort cancels it, degrading
 	// all in-flight explorations to their anytime best-effort results.
@@ -226,6 +227,9 @@ func NewServer(opts ServeOptions) *Server {
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/debug/explorations", s.handleExplorations)
 	s.mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
+	// Cluster-internal endpoints; 404 until JoinCluster.
+	s.mux.HandleFunc("/v1/internal/incumbent", s.handleIncumbent)
+	s.mux.HandleFunc("/v1/internal/subtree", s.handleSubtree)
 	return s
 }
 
@@ -307,6 +311,7 @@ type parsedRequest struct {
 	canon string     // canonical spec JSON (spec mode): the warm-start fingerprint
 	mode  string     // "spec" or "demo", for introspection
 	label string     // spec name or demo size, for introspection
+	peer  string     // serving cluster node, when routed here by a peer
 }
 
 const maxRequestBody = 8 << 20
@@ -484,6 +489,13 @@ type warmIndex struct {
 	mu    sync.Mutex
 	seeds map[string]map[string]int
 	order []string
+	// owns, when set (cluster mode), is the live shard predicate: the index
+	// refuses to record or serve seeds for fingerprints this node does not
+	// own right now, so a ring change (peer ejected or rejoined) can never
+	// leak another shard's neighbourhood into this node's seeding. Entries
+	// recorded while owned are kept but go silent when ownership moves away,
+	// and wake up if it moves back.
+	owns func(canon string) bool
 }
 
 const (
@@ -500,12 +512,25 @@ func newWarmIndex() *warmIndex {
 
 // record stores (or refreshes) the seed for one fingerprint. The assign
 // map is stored as-is and must never be mutated afterwards.
+// setOwns installs the shard-ownership predicate (cluster mode).
+func (wi *warmIndex) setOwns(owns func(canon string) bool) {
+	if wi == nil {
+		return
+	}
+	wi.mu.Lock()
+	wi.owns = owns
+	wi.mu.Unlock()
+}
+
 func (wi *warmIndex) record(canon string, assign map[string]int) {
 	if wi == nil || canon == "" || len(assign) == 0 {
 		return
 	}
 	wi.mu.Lock()
 	defer wi.mu.Unlock()
+	if wi.owns != nil && !wi.owns(canon) {
+		return
+	}
 	if _, ok := wi.seeds[canon]; !ok {
 		if len(wi.order) >= warmIndexCap {
 			delete(wi.seeds, wi.order[0])
@@ -526,12 +551,20 @@ func (wi *warmIndex) lookup(canon string) map[string]int {
 	}
 	wi.mu.Lock()
 	defer wi.mu.Unlock()
+	if wi.owns != nil && !wi.owns(canon) {
+		// Not our shard: serving a neighbour here would seed searches from a
+		// fingerprint whose traffic (and index freshness) lives on a peer.
+		return nil
+	}
 	if a, ok := wi.seeds[canon]; ok {
 		return a
 	}
 	bestLen := warmMinPrefix - 1
 	var best map[string]int
 	for _, c := range wi.order {
+		if wi.owns != nil && !wi.owns(c) {
+			continue
+		}
 		if l := commonPrefixLen(c, canon); l > bestLen {
 			bestLen, best = l, wi.seeds[c]
 		}
@@ -555,8 +588,17 @@ func commonPrefixLen(a, b string) int {
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// The trace id is assigned before any early exit, so every response —
 	// including 405, 400, 429, and 503 — is correlatable with telemetry and
-	// flight-recorder entries.
+	// flight-recorder entries. A cluster-internal request adopts the
+	// forwarding node's trace id instead, so a routed request is one trace
+	// end to end (the marker gates adoption: external clients cannot pick
+	// their own ids).
+	internal := s.cluster != nil && isInternal(r)
 	tid := fmt.Sprintf("%s-%06d", s.runID, s.nextTrace.Add(1))
+	if internal {
+		if t := r.Header.Get("X-Trace-Id"); t != "" {
+			tid = t
+		}
+	}
 	w.Header().Set("X-Trace-Id", tid)
 	sse := wantsSSE(r)
 	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && sse) {
@@ -590,11 +632,35 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 		body = strings.NewReader(q)
 	}
+	// In cluster mode the raw body is buffered so the request can be
+	// forwarded byte-for-byte to its ring owner. SSE streams stay local
+	// (progress events do not proxy usefully), and internal requests are
+	// served where they land — forwarding is one hop, never a loop.
+	var raw []byte
+	if s.cluster != nil && !internal && !sse && r.Method == http.MethodPost {
+		var err error
+		raw, err = io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+		if err != nil {
+			s.obs.Counter("server.bad_requests").Add(1)
+			s.writeError(w, http.StatusBadRequest, "read error: "+err.Error())
+			return
+		}
+		body = bytes.NewReader(raw)
+	}
 	p, err := parseExplore(body)
 	if err != nil {
 		s.obs.Counter("server.bad_requests").Add(1)
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if internal {
+		p.peer = s.cluster.router.Self()
+	}
+	if raw != nil {
+		if resp, served := s.routeExplore(r.Context(), p, raw, tid); served {
+			s.writeResponse(w, resp)
+			return
+		}
 	}
 
 	// The exploration context: canceled by client disconnect, by Abort, and
@@ -612,13 +678,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(ctx)
 	if !ok {
 		s.obs.Counter("server.rejected_overload").Add(1)
-		// The hint assumes the queue drains one slot per default-deadline
-		// interval; without a default deadline, suggest a flat second.
-		retry := s.opts.DefaultTimeout
-		if retry <= 0 {
-			retry = time.Second
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		s.writeError(w, http.StatusTooManyRequests, "exploration queue is full")
 		return
 	}
@@ -670,7 +730,13 @@ const maxBatchItems = 64
 // envelope is never cached — each item deduplicates individually, so a
 // batch overlapping earlier traffic gets per-item cache hits.
 func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
+	internal := s.cluster != nil && isInternal(r)
 	tid := fmt.Sprintf("%s-%06d", s.runID, s.nextTrace.Add(1))
+	if internal {
+		if t := r.Header.Get("X-Trace-Id"); t != "" {
+			tid = t
+		}
+	}
 	w.Header().Set("X-Trace-Id", tid)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -717,6 +783,9 @@ func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
 	parseErrs := make([]error, n)
 	for i, raw := range breq.Items {
 		parsed[i], parseErrs[i] = parseExplore(bytes.NewReader(raw))
+		if internal && parsed[i] != nil {
+			parsed[i].peer = s.cluster.router.Self()
+		}
 	}
 
 	ctx, cancel := context.WithCancel(r.Context())
@@ -724,22 +793,25 @@ func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	release, ok := s.admit(ctx)
-	if !ok {
-		s.obs.Counter("server.rejected_overload").Add(1)
-		retry := s.opts.DefaultTimeout
-		if retry <= 0 {
-			retry = time.Second
+	// A cluster-internal sub-batch is already accounted by the admission
+	// slot its origin node holds for the whole batch; admitting it here too
+	// could deadlock two fronts cross-forwarding sub-batches while their
+	// slots wait on each other. Work stays bounded: one internal batch per
+	// origin slot, cluster-wide.
+	if !internal {
+		release, ok := s.admit(ctx)
+		if !ok {
+			s.obs.Counter("server.rejected_overload").Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			s.writeError(w, http.StatusTooManyRequests, "exploration queue is full")
+			return
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
-		s.writeError(w, http.StatusTooManyRequests, "exploration queue is full")
-		return
+		defer release()
 	}
-	defer release()
 
 	results := make([]*servedResponse, n)
 	tids := make([]string, n)
-	s.workers.ForEach(ctx, n, func(i int) {
+	runLocal := func(i int) {
 		tids[i] = fmt.Sprintf("%s.%d", tid, i)
 		if parseErrs[i] != nil {
 			s.obs.Counter("server.bad_requests").Add(1)
@@ -755,6 +827,44 @@ func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
 		s.unregisterLive(tids[i])
 		if icancel != nil {
 			icancel()
+		}
+	}
+	// Cluster mode: items owned by live peers go out as sub-batches (trace
+	// ids "<tid>.p<seq>"), concurrently with the locally-owned items. A
+	// failed sub-batch leaves its items nil; the second local pass below
+	// recomputes them, so peer failures cost latency, never item failures.
+	remoteIdx := make([]bool, n)
+	var remoteWG sync.WaitGroup
+	if s.cluster != nil && !internal {
+		remote := s.planBatch(parsed, parseErrs)
+		owners := make([]string, 0, len(remote))
+		for owner := range remote {
+			owners = append(owners, owner)
+		}
+		sort.Strings(owners)
+		for seq, owner := range owners {
+			idxs := remote[owner]
+			for _, i := range idxs {
+				remoteIdx[i] = true
+			}
+			subTid := fmt.Sprintf("%s.p%d", tid, seq+1)
+			remoteWG.Add(1)
+			go func(owner string, idxs []int, subTid string) {
+				defer remoteWG.Done()
+				s.forwardBatchGroup(ctx, owner, idxs, breq.Items, subTid, results, tids)
+			}(owner, idxs, subTid)
+		}
+	}
+	s.workers.ForEach(ctx, n, func(i int) {
+		if remoteIdx[i] {
+			return
+		}
+		runLocal(i)
+	})
+	remoteWG.Wait()
+	s.workers.ForEach(ctx, n, func(i int) {
+		if remoteIdx[i] && results[i] == nil {
+			runLocal(i)
 		}
 	})
 	s.obs.Counter("server.batch_items").Add(int64(n))
@@ -796,13 +906,16 @@ func (s *Server) runExploration(ctx context.Context, p *parsedRequest, tid strin
 	start := time.Now()
 	sp := s.obs.Start("serve.explore")
 	sp.SetStr("trace_id", tid)
+	if p.peer != "" {
+		sp.SetStr("peer", p.peer)
+	}
 	var capture *obs.Collector
 	var before obs.Snapshot
 	if s.flight != nil {
 		capture = s.obs.CaptureSubtree(sp)
 		before = s.obs.Snapshot()
 	}
-	resp := s.dedup(ctx, p, sp, prog)
+	resp := s.dedup(ctx, p, tid, sp, prog)
 	sp.SetInt("status", int64(resp.status))
 	sp.End()
 	if s.flight != nil {
@@ -854,12 +967,12 @@ func (s *Server) maybeRecordFlight(tid string, p *parsedRequest, resp *servedRes
 // Abort) publishes uncacheable, so it is returned only to the request that
 // ran it — concurrent duplicates with live deadlines take over and
 // recompute rather than inherit a degraded response.
-func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span, prog *obs.Progress) *servedResponse {
+func (s *Server) dedup(ctx context.Context, p *parsedRequest, tid string, sp *obs.Span, prog *obs.Progress) *servedResponse {
 	hit := true
 	prog.SetStage("dedup")
 	v := s.memo.Do(memo.Requests, p.key, func() (any, bool) {
 		hit = false
-		resp := s.explore(ctx, p, sp, prog)
+		resp := s.explore(ctx, p, tid, sp, prog)
 		cacheable := resp.status == http.StatusOK && ctx.Err() == nil && !resp.volatile
 		return resp, cacheable
 	})
@@ -873,7 +986,7 @@ func (s *Server) dedup(ctx context.Context, p *parsedRequest, sp *obs.Span, prog
 // explore runs the exploration and serializes the response. The body is a
 // deterministic function of the parsed request (trace IDs and timing live
 // in headers and telemetry only), which is what makes caching sound.
-func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, prog *obs.Progress) *servedResponse {
+func (s *Server) explore(ctx context.Context, p *parsedRequest, tid string, sp *obs.Span, prog *obs.Progress) *servedResponse {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	s.obs.Gauge("server.inflight").Set(s.inflight.Load())
@@ -923,6 +1036,9 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, pr
 				s.obs.Counter("server.warm_seeds").Add(1)
 			}
 		}
+		if s.cluster != nil {
+			s.clusterizeAssign(&ep, p, tid, onchip, threshold, frame, inplace, interconnect)
+		}
 		v, err := core.EvaluateContext(ctx, p.spec, p.req.Budget, p.spec.Name, ep)
 		if err != nil {
 			return errResponse(http.StatusUnprocessableEntity, err)
@@ -931,7 +1047,10 @@ func (s *Server) explore(ctx context.Context, p *parsedRequest, sp *obs.Span, pr
 		// A seeded search that was cut short (node budget) returns its best
 		// incumbent, which the seed may have improved — a valid anytime
 		// answer, but dependent on session history, so it must not be cached.
-		volatile = seeded && !env.Variant.Optimal
+		// Cross-node incumbent sharing has the same shape: a cut-short search
+		// may return a bound a peer published, so in cluster mode non-optimal
+		// spec responses are volatile too.
+		volatile = (seeded || s.cluster != nil) && !env.Variant.Optimal
 		if s.warm != nil && ctx.Err() == nil {
 			s.warm.record(p.canon, seedFromWire(env.Variant))
 		}
@@ -961,6 +1080,40 @@ func (s *Server) effectiveTimeout(requestMS int64) time.Duration {
 		d = s.opts.MaxTimeout
 	}
 	return d
+}
+
+// retryAfterSeconds maps queue depth to the 429 Retry-After hint. The
+// queue drains maxConcurrent slots per typical request duration, so a
+// rejected request's wait is ceil((queued+1)/maxConcurrent) such waves —
+// a loaded server tells clients to back off longer instead of inviting a
+// thundering retry herd after a flat interval.
+func retryAfterSeconds(queued, maxConcurrent int, typical time.Duration) int {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	if typical <= 0 {
+		typical = time.Second
+	}
+	waves := (queued + maxConcurrent) / maxConcurrent // ceil((queued+1)/maxConcurrent)
+	secs := int(math.Ceil(float64(waves) * typical.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// retryAfter derives the live Retry-After hint: the observed p50 request
+// duration when there is one, else the configured default deadline, else
+// one second.
+func (s *Server) retryAfter() int {
+	typical := time.Duration(s.reqHist.Snapshot().P50US) * time.Microsecond
+	if typical <= 0 {
+		typical = s.opts.DefaultTimeout
+	}
+	return retryAfterSeconds(int(s.queued.Load()), s.opts.MaxConcurrent, typical)
 }
 
 // admit acquires an exploration slot, queueing up to MaxQueue requests.
