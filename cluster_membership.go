@@ -1,0 +1,465 @@
+package dtse
+
+// Dynamic cluster membership and shard handoff.
+//
+// PR 9's ring was frozen at startup (-peers). Here the member set is a
+// SWIM-lite table (internal/cluster.Membership): nodes join by handshaking
+// a seed over POST /v1/internal/join, every node gossips its full digest to
+// a peer each interval over POST /v1/internal/gossip, an unreachable member
+// is suspected and only removed after a suspicion timeout, and incarnation
+// numbers let a live member refute stale claims about itself — a flapping
+// node cannot be erased by one dropped probe.
+//
+// On any ring change the node re-derives ownership and runs shard handoff:
+// for every cached record whose route fingerprint this node owned under the
+// old ring but not the new one, it streams the record (and the matching
+// warm-index seeds) to the new owner over POST /v1/internal/handoff. The
+// receiver gates every import on its own live ring — it only accepts keys
+// it owns right now — so a racing topology change degrades to a dropped
+// warm-up, never a mis-sharded cache. The gossip exchange doubles as the
+// health prober: a reachable member revives its Router ejection state
+// (PeerOK), an unreachable one feeds it (PeerFail), which is what rejoins a
+// recovered peer now that the serving path's half-open probe admits only
+// one caller.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/memo"
+)
+
+// digestWire is the join/gossip exchange body in both directions: the
+// sender's identity plus its full membership digest.
+type digestWire struct {
+	From   string                `json:"from"`
+	Digest []cluster.MemberEntry `json:"digest"`
+}
+
+// maxDigestBody bounds a membership digest read (thousands of members fit).
+const maxDigestBody = 1 << 20
+
+// routeKeyOfCacheKey recovers the routing fingerprint from a Requests
+// dedup key: spec keys route by their canonical spec JSON (budget/knob
+// variants co-locate), demo keys by the full key — exactly routeKey's rule.
+func routeKeyOfCacheKey(key string) uint64 {
+	if canon, ok := canonOfKey(key); ok {
+		return memo.Fingerprint64(canon)
+	}
+	return memo.Fingerprint64(key)
+}
+
+// handleClusterJoin admits a joining node: merge its digest (which contains
+// at least itself, alive, at a fresh incarnation) and answer with ours. The
+// joiner learns the full member set from the response; everyone else learns
+// about the joiner from gossip.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	s.handleDigestExchange(w, r, "cluster.joins")
+}
+
+// handleClusterGossip is one push-pull gossip round: merge the caller's
+// digest, answer with ours.
+func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	s.handleDigestExchange(w, r, "")
+}
+
+func (s *Server) handleDigestExchange(w http.ResponseWriter, r *http.Request, joinCounter string) {
+	cs := s.cluster
+	if cs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in digestWire
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxDigestBody)).Decode(&in); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid digest body: "+err.Error())
+		return
+	}
+	if joinCounter != "" {
+		s.obs.Counter(joinCounter).Add(1)
+	}
+	if cs.members.Merge(in.Digest) {
+		s.syncMembership()
+	}
+	// A digest from a member is proof of life, whatever the table said.
+	if in.From != "" && in.From != cs.router.Self() {
+		cs.members.Confirm(in.From)
+	}
+	body := mustMarshal(digestWire{From: cs.router.Self(), Digest: cs.members.Digest()})
+	s.writeResponse(w, &servedResponse{status: http.StatusOK, body: append(body, '\n')})
+}
+
+// JoinSeeds handshakes each configured seed once: push our digest, merge
+// the response. One reachable seed is enough; with none reachable the node
+// keeps its static view and gossip keeps retrying reachable members.
+func (s *Server) JoinSeeds(ctx context.Context, seeds []string) error {
+	cs := s.cluster
+	if cs == nil {
+		return errors.New("cluster: not joined")
+	}
+	var lastErr error
+	joined := false
+	for _, seed := range seeds {
+		if seed == "" || seed == cs.router.Self() {
+			continue
+		}
+		digest, err := s.exchangeDigest(ctx, seed, "/v1/internal/join")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		joined = true
+		if cs.members.Merge(digest) {
+			s.syncMembership()
+		}
+	}
+	if !joined && lastErr != nil {
+		return fmt.Errorf("cluster: no seed reachable: %w", lastErr)
+	}
+	return nil
+}
+
+// exchangeDigest POSTs our digest to one member and returns its digest.
+func (s *Server) exchangeDigest(ctx context.Context, member, path string) ([]cluster.MemberEntry, error) {
+	cs := s.cluster
+	body := mustMarshal(digestWire{From: cs.router.Self(), Digest: cs.members.Digest()})
+	rctx, cancel := context.WithTimeout(ctx, gossipRequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, member+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = internalHeaders("")
+	resp, err := cs.router.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxDigestBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", member, resp.StatusCode)
+	}
+	var out digestWire
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out.Digest, nil
+}
+
+// gossipLoop is the membership heartbeat: each tick, exchange digests with
+// every other ring member (suspects included — that is their chance to
+// refute), feed the outcome to both the membership table and the Router's
+// ejection state, then expire suspicions that outlived the timeout. Small
+// clusters gossip with everyone; the per-tick fanout is fine below
+// O(hundreds) of members.
+func (s *Server) gossipLoop() {
+	cs := s.cluster
+	tick := time.NewTicker(cs.gossipEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+		}
+		for _, m := range cs.members.Alive() {
+			if m == cs.router.Self() {
+				continue
+			}
+			start := time.Now()
+			digest, err := s.exchangeDigest(s.baseCtx, m, "/v1/internal/gossip")
+			if err != nil {
+				if s.baseCtx.Err() != nil {
+					return
+				}
+				s.obs.Counter("cluster.gossip_failed").Add(1)
+				cs.router.PeerFail(m)
+				if cs.members.Suspect(m) {
+					s.obs.Counter("cluster.suspected").Add(1)
+				}
+				continue
+			}
+			s.obs.Counter("cluster.gossip_rounds").Add(1)
+			cs.router.PeerOK(m, time.Since(start))
+			cs.members.Confirm(m)
+			if cs.members.Merge(digest) {
+				s.syncMembership()
+			}
+		}
+		if dead := cs.members.Tick(cs.suspectFor, tombstoneTTLPerSuspicion*cs.suspectFor); len(dead) > 0 {
+			s.obs.Counter("cluster.deaths").Add(int64(len(dead)))
+			s.syncMembership()
+		}
+	}
+}
+
+// syncMembership aligns the ring with the membership table and, when
+// ownership moved, launches shard handoff for the keys this node stopped
+// owning. Serialized by topoMu so concurrent digests cannot interleave
+// ring swaps and handoffs out of order.
+func (s *Server) syncMembership() {
+	cs := s.cluster
+	cs.topoMu.Lock()
+	defer cs.topoMu.Unlock()
+	oldRing := cs.router.Ring()
+	added, removed := cs.router.SetMembers(cs.members.Alive())
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	newRing := cs.router.Ring()
+	s.obs.Counter("cluster.member_joins").Add(int64(len(added)))
+	s.obs.Counter("cluster.member_leaves").Add(int64(len(removed)))
+	s.obs.Counter("cluster.ring_changes").Add(1)
+	cs.handoffs.Add(1)
+	go func() {
+		defer cs.handoffs.Done()
+		s.runHandoff(oldRing, newRing)
+	}()
+}
+
+// --- shard handoff ---
+
+// handoffRec is one cached record on the wire ([]byte marshals as base64).
+type handoffRec struct {
+	Key string `json:"key"`
+	Val []byte `json:"val"`
+}
+
+type handoffSeed struct {
+	Canon  string         `json:"canon"`
+	Assign map[string]int `json:"assign"`
+}
+
+// handoffWire is the POST /v1/internal/handoff body: the records and
+// warm-index seeds one departing/demoted owner streams to one new owner.
+type handoffWire struct {
+	From    string        `json:"from"`
+	Records []handoffRec  `json:"records,omitempty"`
+	Seeds   []handoffSeed `json:"seeds,omitempty"`
+}
+
+// maxHandoffBody bounds a handoff read on the receiving side.
+const maxHandoffBody = 256 << 20
+
+// runHandoff streams every cached record and warm seed whose route
+// fingerprint this node owned under old but does not own under new to the
+// key's new owner. Purely best-effort warm-up: a failed stream costs the
+// receiver cache misses, never correctness.
+func (s *Server) runHandoff(old, next *cluster.Ring) {
+	self := s.cluster.router.Self()
+	moved := func(key uint64) (string, bool) {
+		if old.Owner(key) != self {
+			return "", false // never ours: its owner streams it, not us
+		}
+		if o := next.Owner(key); o != self {
+			return o, true
+		}
+		return "", false
+	}
+	byTarget := make(map[string]*handoffWire)
+	wireFor := func(target string) *handoffWire {
+		w := byTarget[target]
+		if w == nil {
+			w = &handoffWire{From: self}
+			byTarget[target] = w
+		}
+		return w
+	}
+	// Cached responses: from the disk tier when there is one (the durable
+	// superset), else from the memory tier.
+	if s.opts.Disk != nil {
+		s.opts.Disk.Export(memo.Requests, func(key string) bool {
+			_, ok := moved(routeKeyOfCacheKey(key))
+			return ok
+		}, func(key string, val []byte) bool {
+			target, _ := moved(routeKeyOfCacheKey(key))
+			w := wireFor(target)
+			w.Records = append(w.Records, handoffRec{Key: key, Val: append([]byte(nil), val...)})
+			return true
+		})
+	} else if s.memo != nil {
+		s.memo.Range(memo.Requests, func(key string, val any) bool {
+			target, ok := moved(routeKeyOfCacheKey(key))
+			if !ok {
+				return true
+			}
+			enc, ok := encodeServed(val)
+			if !ok {
+				return true
+			}
+			w := wireFor(target)
+			w.Records = append(w.Records, handoffRec{Key: key, Val: enc})
+			return true
+		})
+	}
+	// Warm-index seeds for moved canonical fingerprints.
+	s.warm.rangeSeeds(func(canon string, assign map[string]int) bool {
+		target, ok := moved(memo.Fingerprint64(canon))
+		if !ok {
+			return true
+		}
+		w := wireFor(target)
+		w.Seeds = append(w.Seeds, handoffSeed{Canon: canon, Assign: assign})
+		return true
+	})
+	for target, wire := range byTarget {
+		s.sendHandoff(target, wire)
+	}
+}
+
+// sendHandoff ships one new owner's records. Best-effort with one retry:
+// the likeliest failure is a joiner whose listener is a beat behind its
+// join handshake.
+func (s *Server) sendHandoff(target string, wire *handoffWire) {
+	body := mustMarshal(wire)
+	for attempt := 0; attempt < 2; attempt++ {
+		ctx, cancel := context.WithTimeout(s.baseCtx, handoffRequestTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/internal/handoff", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			break
+		}
+		req.Header = internalHeaders("")
+		resp, err := s.cluster.router.Client().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			cancel()
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent {
+				s.obs.Counter("cluster.handoff_sent").Add(1)
+				return
+			}
+		} else {
+			cancel()
+		}
+		if s.baseCtx.Err() != nil {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	s.obs.Counter("cluster.handoff_failed").Add(1)
+}
+
+// handleHandoff imports a departing owner's records. Every key is gated on
+// the live ring — only keys this node owns right now are accepted — so a
+// stale or misdirected stream cannot pollute the wrong shard. Records go
+// to the disk tier when there is one (misses promote them to memory on
+// first touch, counted as disk hits), else straight into the memory tier;
+// seeds go through the warm index's own ownership gate.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	if cs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var wire handoffWire
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxHandoffBody)).Decode(&wire); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid handoff body: "+err.Error())
+		return
+	}
+	var entries, seeds, refused int64
+	for _, rec := range wire.Records {
+		if !cs.router.Owns(routeKeyOfCacheKey(rec.Key)) {
+			refused++
+			continue
+		}
+		imported := false
+		if s.opts.Disk != nil {
+			imported = s.opts.Disk.Import(memo.Requests, rec.Key, rec.Val)
+		} else if s.memo != nil {
+			if v, ok := decodeServed(rec.Val); ok {
+				imported = s.memo.Seed(memo.Requests, rec.Key, v)
+			}
+		}
+		if imported {
+			entries++
+		}
+	}
+	for _, sd := range wire.Seeds {
+		if !cs.router.Owns(memo.Fingerprint64(sd.Canon)) {
+			refused++
+			continue
+		}
+		if s.warm != nil {
+			s.warm.record(sd.Canon, sd.Assign)
+			seeds++
+		}
+	}
+	s.obs.Counter("cluster.handoff_received").Add(1)
+	s.obs.Counter("cluster.handoff_entries").Add(entries)
+	s.obs.Counter("cluster.handoff_seeds").Add(seeds)
+	if refused > 0 {
+		s.obs.Counter("cluster.handoff_refused").Add(refused)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	s.countStatus(http.StatusNoContent)
+}
+
+// LeaveCluster announces a graceful departure and hands this node's shard
+// to the survivors: bump our incarnation to Left, push the goodbye digest
+// to every alive peer (so ownership moves before we stop serving), then
+// stream every owned record to its new owner and wait for the streams.
+// Call before BeginDrain, so requests arriving during the announcement
+// window still get served here while peers re-route.
+func (s *Server) LeaveCluster(ctx context.Context) error {
+	cs := s.cluster
+	if cs == nil {
+		return errors.New("cluster: not joined")
+	}
+	goodbye := cs.members.Leave()
+	body := mustMarshal(digestWire{From: cs.router.Self(), Digest: goodbye})
+	peers := cs.router.AlivePeers()
+	announced := 0
+	for _, p := range peers {
+		rctx, cancel := context.WithTimeout(ctx, gossipRequestTimeout)
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, p.ID()+"/v1/internal/gossip", bytes.NewReader(body))
+		if err == nil {
+			req.Header = internalHeaders("")
+			if resp, err := cs.router.Client().Do(req); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, maxDigestBody))
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					announced++
+				}
+			}
+		}
+		cancel()
+	}
+	s.obs.Counter("cluster.leaves").Add(1)
+	// Hand the shard over: old ring includes self, new ring is the
+	// survivors. Skipped when no peer heard the goodbye — with nobody to
+	// own the keys, streaming them would only be refused.
+	if announced > 0 {
+		oldRing := cs.router.Ring()
+		survivors := make([]string, 0, len(oldRing.Members()))
+		for _, m := range oldRing.Members() {
+			if m != cs.router.Self() {
+				survivors = append(survivors, m)
+			}
+		}
+		if len(survivors) > 0 {
+			s.runHandoff(oldRing, cluster.NewRing(survivors))
+		}
+	}
+	cs.handoffs.Wait()
+	return nil
+}

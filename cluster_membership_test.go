@@ -1,0 +1,263 @@
+package dtse
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/memo"
+	"repro/internal/obs"
+)
+
+// obsOpts builds nodes with a live Observer so the handoff counters the
+// tests assert on actually count (a nil Observer no-ops them).
+func obsOpts(int) ServeOptions { return ServeOptions{Obs: obs.New()} }
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout: " + msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// movedSpecs generates deterministic spec bodies whose routing fingerprint
+// is owned by `to` under next but not under cur — the keys that must move
+// (and be handed off) when the topology changes from cur to next.
+func movedSpecs(t *testing.T, cur, next *cluster.Ring, to string, want int) []string {
+	t.Helper()
+	var out []string
+	for seed := int64(0); seed < 200 && len(out) < want; seed++ {
+		body := randClusterSpec(t, seed)
+		p, err := parseExplore(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := routeKey(p)
+		if next.Owner(key) == to && (cur == nil || cur.Owner(key) != to) {
+			out = append(out, body)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no generated spec moves to the target node; widen the seed range")
+	}
+	return out
+}
+
+// TestClusterJoinMidRunByteIdentical is the tentpole e2e: a third node
+// joins a live 2-node cluster via a seed handshake; membership converges
+// on every node, the old owners stream the moved shard to the joiner, and
+// the joiner then answers the moved requests byte-identically to the solo
+// baseline — serving them from its disk tier, which only handoff could
+// have populated (counter-asserted, so the assertion cannot pass
+// vacuously).
+func TestClusterJoinMidRunByteIdentical(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	defer solo.Abort()
+
+	tc := newTestCluster(t, 2, obsOpts, ClusterOptions{
+		GossipInterval: 50 * time.Millisecond,
+	})
+
+	// The joiner exists (its URL is fixed) but has not joined yet. It gets
+	// a disk tier, so the handed-off records land durably and the re-posts
+	// below surface as disk-tier hits.
+	disk, err := memo.OpenDiskTier(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := NewServer(ServeOptions{Disk: disk, Obs: obs.New()})
+	joinTS := httptest.NewServer(joiner.Handler())
+	defer joinTS.Close()
+	defer joiner.Abort()
+
+	curRing := cluster.NewRing([]string{tc.urls[0], tc.urls[1]})
+	nextRing := cluster.NewRing([]string{tc.urls[0], tc.urls[1], joinTS.URL})
+	bodies := movedSpecs(t, curRing, nextRing, joinTS.URL, 3)
+
+	// Compute the moved specs on the live 2-node cluster: each is cached
+	// at its current owner. Pin the baseline against the solo node.
+	refs := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		_, sref := postURL(t, soloTS.URL, "/v1/explore", body)
+		resp, ref := postURL(t, tc.urls[0], "/v1/explore", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pre-join explore %d: status %d: %s", i, resp.StatusCode, ref)
+		}
+		if !bytes.Equal(ref, sref) {
+			t.Fatalf("pre-join response %d differs from solo", i)
+		}
+		refs[i] = ref
+	}
+
+	// Join mid-run, knowing only seed A.
+	if err := joiner.JoinCluster(ClusterOptions{
+		Self:           joinTS.URL,
+		Seeds:          []string{tc.urls[0]},
+		GossipInterval: 50 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.JoinSeeds(context.Background(), []string{tc.urls[0]}); err != nil {
+		t.Fatal(err)
+	}
+	all := append([]*Server{joiner}, tc.servers...)
+	waitUntil(t, 10*time.Second, func() bool {
+		for _, s := range all {
+			if len(s.cluster.router.Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	}, "membership never converged to 3 nodes")
+
+	// Handoff: every moved record reaches the joiner's disk tier.
+	waitUntil(t, 10*time.Second, func() bool {
+		return joiner.obs.Counter("cluster.handoff_entries").Value() >= int64(len(bodies)) &&
+			disk.Len(memo.Requests) >= len(bodies)
+	}, "handoff records never reached the joiner's disk tier")
+
+	// The joiner now owns the moved keys and serves them byte-identically,
+	// from the handed-off records (disk hits prove it: nothing else ever
+	// wrote this node's disk tier).
+	preHits := disk.Stats().Hits
+	for i, body := range bodies {
+		resp, got := postURL(t, joinTS.URL, "/v1/explore", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-join explore %d: status %d: %s", i, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Fatalf("post-join response %d differs:\nref: %s\ngot: %s", i, refs[i], got)
+		}
+	}
+	if hits := disk.Stats().Hits - preHits; hits < 1 {
+		t.Fatalf("joiner served %d disk-tier hits, want >= 1 (handoff was vacuous)", hits)
+	}
+	if n := joiner.obs.Counter("cluster.handoff_entries").Value(); n < int64(len(bodies)) {
+		t.Fatalf("handoff_entries = %d, want >= %d", n, len(bodies))
+	}
+	if imp := disk.Stats().Imported; imp < int64(len(bodies)) {
+		t.Fatalf("disk Imported = %d, want >= %d", imp, len(bodies))
+	}
+}
+
+// TestClusterLeaveMidRunByteIdentical: a member of a live 3-node cluster
+// leaves gracefully; the survivors merge the goodbye before the leaver
+// stops serving, receive its shard via handoff, and keep answering the
+// moved requests byte-identically with zero failed requests.
+func TestClusterLeaveMidRunByteIdentical(t *testing.T) {
+	solo := NewServer(ServeOptions{})
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	defer solo.Abort()
+
+	tc := newTestCluster(t, 3, obsOpts, ClusterOptions{
+		GossipInterval: 50 * time.Millisecond,
+	})
+	leaver := tc.urls[2]
+	ring3 := cluster.NewRing(tc.urls)
+	bodies := movedSpecs(t, nil, ring3, leaver, 3) // specs the leaver owns now
+
+	refs := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		_, sref := postURL(t, soloTS.URL, "/v1/explore", body)
+		resp, ref := postURL(t, tc.urls[0], "/v1/explore", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pre-leave explore %d: status %d: %s", i, resp.StatusCode, ref)
+		}
+		if !bytes.Equal(ref, sref) {
+			t.Fatalf("pre-leave response %d differs from solo", i)
+		}
+		refs[i] = ref
+	}
+
+	// Graceful leave: announce, hand the shard over, wait for the streams.
+	if err := tc.servers[2].LeaveCluster(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, func() bool {
+		return len(tc.servers[0].cluster.router.Members()) == 2 &&
+			len(tc.servers[1].cluster.router.Members()) == 2
+	}, "survivors never saw the leave")
+	waitUntil(t, 10*time.Second, func() bool {
+		got := tc.servers[0].obs.Counter("cluster.handoff_entries").Value() +
+			tc.servers[1].obs.Counter("cluster.handoff_entries").Value()
+		return got >= int64(len(bodies))
+	}, "survivors never received the leaver's shard")
+
+	// Every moved request keeps its exact bytes through both survivors —
+	// zero failures, served from the handed-off cache.
+	for i, body := range bodies {
+		for ni := 0; ni < 2; ni++ {
+			resp, got := postURL(t, tc.urls[ni], "/v1/explore", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("post-leave explore %d via node %d: status %d: %s", i, ni, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, refs[i]) {
+				t.Fatalf("post-leave response %d via node %d differs", i, ni)
+			}
+		}
+	}
+	// Non-vacuous: at least one survivor answered from the handed-off
+	// session cache rather than recomputing.
+	hits := tc.servers[0].memo.Stats(memo.Requests).Hits + tc.servers[1].memo.Stats(memo.Requests).Hits
+	if hits < 1 {
+		t.Fatalf("no survivor served a memo hit after handoff (hits=%d)", hits)
+	}
+}
+
+// TestWarmIndexRefusesSeedsAfterLiveRingChange wires the warm index to a
+// real Router's live ring (exactly as JoinCluster does) and checks the
+// satellite property: a fingerprint recorded while owned goes silent the
+// moment a membership change moves its ownership away, and wakes up when
+// ownership returns.
+func TestWarmIndexRefusesSeedsAfterLiveRingChange(t *testing.T) {
+	router, err := cluster.New(cluster.Config{Self: "http://self.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := newWarmIndex()
+	wi.setOwns(func(c string) bool { return router.Owns(memo.Fingerprint64(c)) })
+
+	canon := `{"name":"probe"}`
+	wi.record(canon, map[string]int{"g": 0})
+	if wi.lookup(canon) == nil {
+		t.Fatal("sole member must own and serve its own fingerprint")
+	}
+
+	// Find a peer whose arrival takes ownership of canon.
+	fp := memo.Fingerprint64(canon)
+	peer := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("http://peer-%d.test", i)
+		if cluster.NewRing([]string{"http://self.test", cand}).Owner(fp) == cand {
+			peer = cand
+			break
+		}
+	}
+	if peer == "" {
+		t.Fatal("no candidate peer takes ownership; vnode layout changed?")
+	}
+
+	router.SetMembers([]string{peer})
+	if got := wi.lookup(canon); got != nil {
+		t.Fatalf("lookup served a seed for a fingerprint that moved away: %v", got)
+	}
+	wi.record(canon, map[string]int{"g": 1}) // recording is refused too
+	router.SetMembers(nil)                   // peer leaves; ownership returns
+	got := wi.lookup(canon)
+	if got == nil || got["g"] != 0 {
+		t.Fatalf("seed must wake up unchanged when ownership returns, got %v", got)
+	}
+}

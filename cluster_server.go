@@ -74,9 +74,30 @@ type ClusterOptions struct {
 	// search over fewer groups is too small to amortize a network hop.
 	// 0 means defaultSubtreeMinGroups; negative disables distribution.
 	SubtreeMinGroups int
+	// Seeds are member URLs to contact via /v1/internal/join after the
+	// listener is up (JoinSeeds). Unlike Peers they need not be the full
+	// member set — the handshake returns the seed's membership digest and
+	// gossip converges the rest. A node may start with no Peers and only
+	// Seeds.
+	Seeds []string
+	// GossipInterval is the membership gossip/probe period. 0 means
+	// defaultGossipInterval; negative disables the loop (membership then
+	// only changes via explicit join/leave handshakes — mostly for tests).
+	GossipInterval time.Duration
+	// SuspicionTimeout is how long a member stays suspect (unreachable by
+	// gossip) before it is confirmed dead and removed from the ring. 0
+	// means defaultSuspicionTimeout.
+	SuspicionTimeout time.Duration
 }
 
-const defaultSubtreeMinGroups = 10
+const (
+	defaultSubtreeMinGroups  = 10
+	defaultGossipInterval    = time.Second
+	defaultSuspicionTimeout  = 10 * time.Second
+	gossipRequestTimeout     = 2 * time.Second
+	handoffRequestTimeout    = 30 * time.Second
+	tombstoneTTLPerSuspicion = 30 // tombstone TTL = 30 × suspicion timeout
+)
 
 // clusterState is the per-server cluster runtime.
 type clusterState struct {
@@ -84,6 +105,14 @@ type clusterState struct {
 	board     *cluster.Board
 	bcast     chan boardUpdate
 	minGroups int // <0 disables subtree distribution
+
+	// Dynamic membership: the SWIM-lite table feeding the ring, and the
+	// mutex serializing ring swaps + handoff launches against each other.
+	members     *cluster.Membership
+	gossipEvery time.Duration // <0: loop disabled
+	suspectFor  time.Duration
+	topoMu      sync.Mutex
+	handoffs    sync.WaitGroup // in-flight outbound handoff streams
 }
 
 type boardUpdate struct {
@@ -117,6 +146,17 @@ func (s *Server) JoinCluster(opts ClusterOptions) error {
 	default:
 		cs.minGroups = opts.SubtreeMinGroups
 	}
+	// Membership starts as the static config (Peers ∪ Seeds) and evolves
+	// from there via join handshakes, gossip digests, and suspicion expiry.
+	cs.members = cluster.NewMembership(opts.Self, append(append([]string{}, opts.Peers...), opts.Seeds...))
+	cs.gossipEvery = opts.GossipInterval
+	if cs.gossipEvery == 0 {
+		cs.gossipEvery = defaultGossipInterval
+	}
+	cs.suspectFor = opts.SuspicionTimeout
+	if cs.suspectFor <= 0 {
+		cs.suspectFor = defaultSuspicionTimeout
+	}
 	// The broadcast hook must never block the search hot path: improvements
 	// beyond the channel's buffer are dropped (the board is a hint store —
 	// a lost bound only costs pruning power).
@@ -137,7 +177,13 @@ func (s *Server) JoinCluster(opts ClusterOptions) error {
 			return router.Owns(memo.Fingerprint64(canon))
 		})
 	}
+	// Align the ring with the initial membership view (Peers ∪ Seeds): a
+	// seed is a member we trust to exist before the first handshake.
+	router.SetMembers(cs.members.Alive())
 	go s.broadcastLoop()
+	if cs.gossipEvery > 0 {
+		go s.gossipLoop()
+	}
 	return nil
 }
 

@@ -9,16 +9,28 @@
 //	      [-timeout 0] [-max-timeout 0] [-workers N] [-drain 5s]
 //	      [-trace out.jsonl] [-cache on|off] [-cache-dir DIR]
 //	      [-cache-bytes N] [-warm on|off] [-flight N] [-slow 0]
-//	      [-cluster on|off] [-self URL] [-peers URL,URL,...] [-hedge-ms N]
+//	      [-cluster on|off] [-self URL] [-peers URL,URL,...] [-join URL,...]
+//	      [-hedge-ms N] [-gossip 1s] [-suspicion 10s]
 //
-// With -cluster on (requires -self, this node's advertised base URL, and
-// -peers, the other members) the daemon joins a multi-node ring: any node
+// With -cluster on (requires -self, this node's advertised base URL, plus
+// -peers and/or -join) the daemon joins a multi-node ring: any node
 // accepts any request, routes it to the consistent-hash owner of its
 // canonical fingerprint (so each node's caches and warm index stay hot for
 // its shard), hedges to the next ring node when the owner is slower than
 // its p99 (-hedge-ms floors the delay), ejects unhealthy peers, shares
 // branch-and-bound incumbents best-effort, and distributes large subtree
 // searches. Responses are byte-identical at any node count.
+//
+// Membership is dynamic: -join URLs are seed nodes handshaked once the
+// listener is up — the seed's digest supplies the rest of the member set,
+// so a joining node needs one reachable seed, not the full -peers list.
+// Every -gossip interval the daemon exchanges membership digests with its
+// peers; an unreachable member is suspected and removed after -suspicion,
+// while incarnation numbers let a live member refute stale claims about
+// itself. On any ring change the node streams the cached records and
+// warm-index seeds it no longer owns to their new owner
+// (/v1/internal/handoff), so rebalanced shards start hot. On shutdown the
+// daemon announces its departure and hands its shard over before draining.
 //
 // With -cache-dir the daemon keeps a disk-backed second cache tier: every
 // completed response is appended (write-behind, checksummed) to
@@ -105,8 +117,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	slow := fs.Duration("slow", 0, "flight-record healthy requests at least this slow (0 = off)")
 	clusterMode := fs.String("cluster", "off", "cluster mode: on or off (requires -self and -peers)")
 	self := fs.String("self", "", "this node's advertised base URL in cluster mode, e.g. http://10.0.0.1:8321")
-	peers := fs.String("peers", "", "comma-separated peer base URLs (every node lists the same membership)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs (static members known at startup)")
+	join := fs.String("join", "", "comma-separated seed URLs to handshake for dynamic membership (alternative or addition to -peers)")
 	hedgeMS := fs.Int("hedge-ms", 0, "hedge-delay floor in milliseconds for forwarded requests (0 = default 50)")
+	gossip := fs.Duration("gossip", 0, "membership gossip/probe interval (0 = default 1s)")
+	suspicion := fs.Duration("suspicion", 0, "how long an unreachable member stays suspect before removal (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -145,25 +160,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	var peerList []string
+	if *gossip < 0 || *suspicion < 0 {
+		fmt.Fprintln(stderr, "dtsed: -gossip and -suspicion must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	splitURLs := func(csv string) []string {
+		var out []string
+		for _, p := range strings.Split(csv, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	var peerList, seedList []string
 	if *clusterMode == "on" {
 		if *self == "" {
 			fmt.Fprintln(stderr, "dtsed: -cluster on requires -self")
 			fs.Usage()
 			return 2
 		}
-		for _, p := range strings.Split(*peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peerList = append(peerList, p)
-			}
-		}
-		if len(peerList) == 0 {
-			fmt.Fprintln(stderr, "dtsed: -cluster on requires at least one peer in -peers")
+		peerList = splitURLs(*peers)
+		seedList = splitURLs(*join)
+		if len(peerList) == 0 && len(seedList) == 0 {
+			fmt.Fprintln(stderr, "dtsed: -cluster on requires at least one URL in -peers or -join")
 			fs.Usage()
 			return 2
 		}
-	} else if *self != "" || *peers != "" {
-		fmt.Fprintln(stderr, "dtsed: -self and -peers require -cluster on")
+	} else if *self != "" || *peers != "" || *join != "" {
+		fmt.Fprintln(stderr, "dtsed: -self, -peers, and -join require -cluster on")
 		fs.Usage()
 		return 2
 	}
@@ -209,14 +235,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	})
 	if *clusterMode == "on" {
 		if err := srv.JoinCluster(dtse.ClusterOptions{
-			Self:       *self,
-			Peers:      peerList,
-			HedgeDelay: time.Duration(*hedgeMS) * time.Millisecond,
+			Self:             *self,
+			Peers:            peerList,
+			Seeds:            seedList,
+			HedgeDelay:       time.Duration(*hedgeMS) * time.Millisecond,
+			GossipInterval:   *gossip,
+			SuspicionTimeout: *suspicion,
 		}); err != nil {
 			fmt.Fprintln(stderr, "dtsed:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "dtsed: cluster mode, self %s, %d peer(s)\n", *self, len(peerList))
+		fmt.Fprintf(stdout, "dtsed: cluster mode, self %s, %d peer(s), %d seed(s)\n", *self, len(peerList), len(seedList))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -230,6 +259,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Seed handshake only after the listener is up, so the seeds (and the
+	// gossip that follows) can reach us for digests and shard handoff.
+	if len(seedList) > 0 {
+		joinCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := srv.JoinSeeds(joinCtx, seedList)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(stderr, "dtsed:", err)
+		} else {
+			fmt.Fprintf(stdout, "dtsed: joined via seed(s)\n")
+		}
+	}
+
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "dtsed:", err)
@@ -237,10 +279,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop routing (healthz 503, new explorations
-	// refused), wait up to -drain for in-flight explorations, then degrade
-	// the stragglers to their anytime results — every accepted request
-	// still gets a complete response.
+	// Graceful shutdown. In cluster mode, first announce the departure and
+	// hand our shard's cached records to their new owners — peers re-route
+	// while we are still serving. Then stop routing (healthz 503, new
+	// explorations refused), wait up to -drain for in-flight explorations,
+	// and degrade the stragglers to their anytime results — every accepted
+	// request still gets a complete response.
+	if *clusterMode == "on" {
+		leaveCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.LeaveCluster(leaveCtx); err != nil {
+			fmt.Fprintln(stderr, "dtsed: leave:", err)
+		} else {
+			fmt.Fprintln(stderr, "dtsed: announced departure, shard handed off")
+		}
+		cancel()
+	}
 	srv.BeginDrain()
 	fmt.Fprintf(stderr, "dtsed: draining (%d exploration(s) in flight)\n", srv.Inflight())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)

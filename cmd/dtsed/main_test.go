@@ -98,6 +98,10 @@ func TestRunBadFlags(t *testing.T) {
 		{"-drain", "-1s"},
 		{"-queue", "-1"},
 		{"-slow", "-1s"},
+		{"-cluster", "on"},                        // no -self
+		{"-cluster", "on", "-self", "http://x:1"}, // no -peers or -join
+		{"-join", "http://x:1"},                   // -join without -cluster on
+		{"-cluster", "on", "-self", "http://x:1", "-gossip", "-1s"},
 		{"-nonsense"},
 	}
 	for _, args := range cases {

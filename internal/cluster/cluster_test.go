@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -174,12 +175,192 @@ func TestPeerRejoinsAfterWindow(t *testing.T) {
 	if p.alive(now) {
 		t.Fatal("peer should be down right after ejection")
 	}
-	if !p.alive(now.Add(100 * time.Millisecond)) {
-		t.Fatal("peer should be half-open after the ejection window")
+	after := now.Add(100 * time.Millisecond)
+	if p.alive(after) {
+		t.Fatal("an expired window must not read as alive until a probe succeeds")
+	}
+	if !p.probeAlive(after) {
+		t.Fatal("the first caller after the window should win the half-open probe")
+	}
+	if p.probeAlive(after) {
+		t.Fatal("a second caller must not get a concurrent probe")
 	}
 	p.ok(time.Millisecond)
 	if !p.alive(now) {
 		t.Fatal("a successful probe should fully revive the peer")
+	}
+	if !p.probeAlive(now) {
+		t.Fatal("a revived peer should be freely routable")
+	}
+}
+
+// TestHalfOpenSingleProbe is the concurrency regression for the probing
+// flag: after the ejection window expires, exactly one of N concurrent
+// callers may contact the peer; the rest keep treating it as down. On the
+// pre-fix Router every caller flipped alive at once (a rejoin stampede).
+func TestHalfOpenSingleProbe(t *testing.T) {
+	p := &Peer{id: "x"}
+	now := time.Now()
+	p.fail(1, 10*time.Millisecond, now)
+	after := now.Add(20 * time.Millisecond)
+
+	const callers = 64
+	var wg sync.WaitGroup
+	var won int64
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if p.probeAlive(after) {
+				atomic.AddInt64(&won, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if won != 1 {
+		t.Fatalf("exactly one caller should win the half-open probe, got %d", won)
+	}
+
+	// A failed probe re-ejects; the slot is only re-winnable after the
+	// new window, and again by exactly one caller.
+	p.fail(1, 10*time.Millisecond, after)
+	if p.probeAlive(after.Add(time.Millisecond)) {
+		t.Fatal("peer should be fully down again after a failed probe")
+	}
+	later := after.Add(20 * time.Millisecond)
+	if !p.probeAlive(later) {
+		t.Fatal("next window should re-open a probe slot")
+	}
+	if p.probeAlive(later) {
+		t.Fatal("second probe in the same window should be refused")
+	}
+
+	// ok() clears the flag and fully revives.
+	p.ok(time.Millisecond)
+	var aliveN int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.probeAlive(later) {
+				atomic.AddInt64(&aliveN, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if aliveN != callers {
+		t.Fatalf("a revived peer should admit everyone, got %d/%d", aliveN, callers)
+	}
+}
+
+// TestHalfOpenStaleProbeExpires pins that an abandoned probe claim (winner
+// never reported back) does not wedge the peer down forever.
+func TestHalfOpenStaleProbeExpires(t *testing.T) {
+	p := &Peer{id: "x"}
+	now := time.Now()
+	p.fail(1, 10*time.Millisecond, now)
+	after := now.Add(20 * time.Millisecond)
+	if !p.probeAlive(after) {
+		t.Fatal("first caller should win the probe")
+	}
+	if p.probeAlive(after.Add(5 * time.Millisecond)) {
+		t.Fatal("probe slot should still be held within the window")
+	}
+	if !p.probeAlive(after.Add(15 * time.Millisecond)) {
+		t.Fatal("a stale probe claim should expire and be re-winnable")
+	}
+}
+
+// TestRouterHalfOpenNoStampede drives the same property through the
+// Router's forwarding path: a down peer whose window has expired shows up
+// in at most one concurrent caller's candidate list.
+func TestRouterHalfOpenNoStampede(t *testing.T) {
+	r := newTestRouter(t, []string{"http://a.invalid"}, Config{EjectAfter: 1, EjectFor: 5 * time.Millisecond})
+	key := keyOwnedBy(t, r, "http://a.invalid")
+	r.peer("http://a.invalid").fail(1, 5*time.Millisecond, time.Now())
+	time.Sleep(20 * time.Millisecond) // let the ejection window expire
+
+	const callers = 32
+	var wg sync.WaitGroup
+	var sawPeer int64
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if len(r.candidates(key)) > 0 {
+				atomic.AddInt64(&sawPeer, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if sawPeer != 1 {
+		t.Fatalf("exactly one caller should see the half-open peer as a candidate, got %d", sawPeer)
+	}
+	if r.Owns(key) != true {
+		t.Fatal("Owns must keep reading the peer as down while the probe is out")
+	}
+}
+
+func TestSetMembersReentrant(t *testing.T) {
+	r := newTestRouter(t, []string{"http://a.invalid"}, Config{EjectAfter: 1, EjectFor: time.Hour})
+	pa := r.peer("http://a.invalid")
+	if pa == nil {
+		t.Fatal("initial peer missing")
+	}
+	// Eject a, then remove it from the membership.
+	pa.fail(1, time.Hour, time.Now())
+	added, removed := r.SetMembers([]string{r.Self()})
+	if len(added) != 0 || len(removed) != 1 || removed[0] != "http://a.invalid" {
+		t.Fatalf("unexpected membership delta: added=%v removed=%v", added, removed)
+	}
+	if r.peer("http://a.invalid") != nil {
+		t.Fatal("removed peer should be dropped from the peer map")
+	}
+	// The member returns (new incarnation): it must come back with fresh
+	// health state, not the stale ejection.
+	added, removed = r.SetMembers([]string{"http://a.invalid"})
+	if len(added) != 1 || len(removed) != 0 {
+		t.Fatalf("unexpected rejoin delta: added=%v removed=%v", added, removed)
+	}
+	back := r.peer("http://a.invalid")
+	if back == nil || !back.alive(time.Now()) {
+		t.Fatal("rejoined member must start alive, not inherit downUntil")
+	}
+	if back == pa {
+		t.Fatal("rejoined member should get fresh Peer state")
+	}
+	// Same set again is a no-op.
+	added, removed = r.SetMembers([]string{"http://a.invalid"})
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("idempotent SetMembers should report no delta, got added=%v removed=%v", added, removed)
+	}
+	// Retained members keep health state across unrelated changes.
+	back.fail(1, time.Hour, time.Now())
+	r.SetMembers([]string{"http://a.invalid", "http://b.invalid"})
+	if r.peer("http://a.invalid") != back {
+		t.Fatal("retained member should keep its Peer state across a ring change")
+	}
+	if back.alive(time.Now()) {
+		t.Fatal("retained member's ejection must survive the ring change")
+	}
+}
+
+func TestPeersReturnsCopy(t *testing.T) {
+	r := newTestRouter(t, []string{"http://a.invalid"}, Config{})
+	m := r.Peers()
+	delete(m, "http://a.invalid")
+	m["http://z.invalid"] = &Peer{id: "http://z.invalid"}
+	if r.peer("http://a.invalid") == nil {
+		t.Fatal("mutating the returned map must not affect the router")
+	}
+	if r.peer("http://z.invalid") != nil {
+		t.Fatal("mutating the returned map must not affect the router")
 	}
 }
 

@@ -63,22 +63,51 @@ type Peer struct {
 	mu        sync.Mutex
 	fails     int // consecutive failures
 	downUntil time.Time
-	probing   bool // one half-open probe in flight
+	window    time.Duration // last ejection window (bounds probe staleness)
+	probing   bool          // one half-open probe in flight
+	probeAt   time.Time     // when the in-flight probe was claimed
 }
 
 // ID returns the peer's member URL.
 func (p *Peer) ID() string { return p.id }
 
-// alive reports whether the peer is in the ring walk. A down peer whose
-// ejection window has passed is half-open: the first caller to ask gets it
-// back (as a probe); success resets it, failure re-ejects it.
+// alive reports whether the peer is routable without claiming a probe: up,
+// or fully revived by a successful probe. A peer whose ejection window has
+// passed but whose half-open probe has not yet succeeded still reads as
+// down here — every caller keeps treating it as sick until the one probe
+// in flight (claimed via probeAlive) comes back ok. This is what prevents
+// a rejoin stampede onto a still-sick peer.
 func (p *Peer) alive(now time.Time) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.downUntil.IsZero() || now.After(p.downUntil) {
+	return p.downUntil.IsZero()
+}
+
+// probeAlive is alive for callers about to contact the peer: when the
+// ejection window has expired it lets exactly one caller through as the
+// half-open probe (probing is set until ok or fail clears it) and keeps
+// everyone else out. A probe whose owner never reports back — claimed but
+// the request was never launched — goes stale after the ejection window
+// and the slot can be re-won.
+func (p *Peer) probeAlive(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.downUntil.IsZero() {
 		return true
 	}
-	return false
+	if !now.After(p.downUntil) {
+		return false
+	}
+	window := p.window
+	if window <= 0 {
+		window = defaultEjectFor
+	}
+	if p.probing && now.Before(p.probeAt.Add(window)) {
+		return false // someone else holds the half-open probe
+	}
+	p.probing = true
+	p.probeAt = now
+	return true
 }
 
 func (p *Peer) ok(rtt time.Duration) {
@@ -86,6 +115,7 @@ func (p *Peer) ok(rtt time.Duration) {
 	p.mu.Lock()
 	p.fails = 0
 	p.downUntil = time.Time{}
+	p.probing = false
 	p.mu.Unlock()
 }
 
@@ -94,10 +124,12 @@ func (p *Peer) ok(rtt time.Duration) {
 func (p *Peer) fail(after int, window time.Duration, now time.Time) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.probing = false // a failed probe re-ejects; the next window may re-probe
 	p.fails++
 	if p.fails >= after {
 		wasUp := p.downUntil.IsZero() || now.After(p.downUntil)
 		p.downUntil = now.Add(window)
+		p.window = window
 		return wasUp
 	}
 	return false
@@ -121,14 +153,17 @@ func (p *Peer) hedgeDelay(floor time.Duration) time.Duration {
 }
 
 // Router owns the ring view plus per-peer health, and forwards requests to
-// their owners with hedged retries.
+// their owners with hedged retries. The ring and peer map mutate under mu
+// when membership changes; Peer health state is independently locked.
 type Router struct {
 	cfg    Config
-	ring   *Ring
 	self   string
-	peers  map[string]*Peer // remote members only
 	obs    *obs.Observer
 	client *http.Client
+
+	mu    sync.RWMutex
+	ring  *Ring
+	peers map[string]*Peer // remote members only
 }
 
 // New builds a Router. Self must be non-empty; the member set is
@@ -146,10 +181,8 @@ func New(cfg Config) (*Router, error) {
 	if cfg.EjectFor <= 0 {
 		cfg.EjectFor = defaultEjectFor
 	}
-	members := append([]string{cfg.Self}, cfg.Peers...)
 	r := &Router{
 		cfg:    cfg,
-		ring:   NewRing(members),
 		self:   cfg.Self,
 		peers:  make(map[string]*Peer),
 		obs:    cfg.Obs,
@@ -161,29 +194,127 @@ func New(cfg Config) (*Router, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
-	for _, m := range r.ring.Members() {
-		if m == cfg.Self {
+	r.SetMembers(append([]string{cfg.Self}, cfg.Peers...))
+	return r, nil
+}
+
+// newPeer builds fresh health state for member m. The latency histogram is
+// resolved by name through the observer, so a member that leaves and rejoins
+// reuses the same labelled series instead of leaking a duplicate.
+func (r *Router) newPeer(m string) *Peer {
+	p := &Peer{id: m}
+	if r.obs != nil {
+		p.hist = r.obs.Histogram(obs.Label("cluster.peer_rtt", "peer", m))
+	} else {
+		p.hist = obs.NewHistogram()
+	}
+	return p
+}
+
+// SetMembers replaces the member set (self is always included) and rebuilds
+// the ring. Retained peers keep their health state; removed peers are
+// dropped entirely, so a member that returns later — e.g. with a new
+// incarnation — starts with fresh fails/downUntil rather than inheriting a
+// stale ejection. Re-entrant: calling with the current set is a no-op.
+// Returns the members added and removed, self excluded.
+func (r *Router) SetMembers(members []string) (added, removed []string) {
+	ring := NewRing(append([]string{r.self}, members...))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make(map[string]*Peer, len(ring.Members()))
+	for _, m := range ring.Members() {
+		if m == r.self {
 			continue
 		}
-		p := &Peer{id: m}
-		if r.obs != nil {
-			p.hist = r.obs.Histogram(obs.Label("cluster.peer_rtt", "peer", m))
-		} else {
-			p.hist = obs.NewHistogram()
+		if p, ok := r.peers[m]; ok {
+			next[m] = p
+			continue
 		}
-		r.peers[m] = p
+		next[m] = r.newPeer(m)
+		added = append(added, m)
 	}
-	return r, nil
+	for m := range r.peers {
+		if _, ok := next[m]; !ok {
+			removed = append(removed, m)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	r.ring = ring
+	r.peers = next
+	return added, removed
+}
+
+// Ring returns the current ring snapshot (immutable once built).
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// snapshot returns the current ring and peer map under the read lock. The
+// map must not be mutated by callers; membership changes swap in a new map.
+func (r *Router) snapshot() (*Ring, map[string]*Peer) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring, r.peers
+}
+
+// peer returns the health state for member id, nil when unknown or self.
+func (r *Router) peer(id string) *Peer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peers[id]
 }
 
 // Self returns this node's member URL.
 func (r *Router) Self() string { return r.self }
 
 // Members returns the full sorted member set (self included).
-func (r *Router) Members() []string { return r.ring.Members() }
+func (r *Router) Members() []string { return r.Ring().Members() }
 
-// Peers returns the remote peers keyed by member URL.
-func (r *Router) Peers() map[string]*Peer { return r.peers }
+// Peers returns a copy of the remote peer map keyed by member URL. The
+// *Peer values are live (their health state keeps updating); the map itself
+// is the caller's to keep, safe across concurrent membership changes.
+func (r *Router) Peers() map[string]*Peer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Peer, len(r.peers))
+	for id, p := range r.peers {
+		out[id] = p
+	}
+	return out
+}
+
+// PeerOK records an out-of-band successful exchange with member id (the
+// gossip loop doubles as the half-open prober). Unknown ids are ignored.
+func (r *Router) PeerOK(id string, rtt time.Duration) {
+	if p := r.peer(id); p != nil {
+		p.ok(rtt)
+	}
+}
+
+// PeerFail records an out-of-band failed exchange with member id, feeding
+// the same ejection policy as forwarded requests.
+func (r *Router) PeerFail(id string) {
+	if p := r.peer(id); p != nil {
+		if p.fail(r.cfg.EjectAfter, r.cfg.EjectFor, time.Now()) {
+			r.counter("cluster.ejected", 1)
+		}
+	}
+}
+
+// ProbeAllowed reports whether a caller about to contact member id may do
+// so: true for an up peer, and true exactly once per window for a down peer
+// whose ejection has expired (the caller then holds the half-open probe and
+// must report the outcome via PeerOK/PeerFail). Unknown ids are allowed.
+func (r *Router) ProbeAllowed(id string) bool {
+	p := r.peer(id)
+	if p == nil {
+		return true
+	}
+	return p.probeAlive(time.Now())
+}
 
 // Owns reports whether this node should serve key right now: self is the
 // first *alive* member in the key's ring walk. Liveness shifts ownership —
@@ -191,29 +322,34 @@ func (r *Router) Peers() map[string]*Peer { return r.peers }
 // and shifts it back on rejoin, which is exactly the predicate the warm
 // index uses to refuse seeds from fingerprints it no longer owns.
 func (r *Router) Owns(key uint64) bool {
+	ring, peers := r.snapshot()
 	now := time.Now()
-	for _, m := range r.ring.Walk(key) {
+	for _, m := range ring.Walk(key) {
 		if m == r.self {
 			return true
 		}
-		if p := r.peers[m]; p != nil && p.alive(now) {
+		if p := peers[m]; p != nil && p.alive(now) {
 			return false
 		}
 	}
 	return true
 }
 
-// candidates returns the alive remote peers preceding self in key's ring
-// walk — the forwarding preference order. Empty means self owns the key
-// (or every preceding peer is down and the key fell through to self).
+// candidates returns the remote peers preceding self in key's ring walk
+// that may be contacted right now — the forwarding preference order. This
+// uses probeAlive, so a down peer whose window expired is included for at
+// most one concurrent caller (the half-open probe); everyone else skips it.
+// Empty means self owns the key (or every preceding peer is down and the
+// key fell through to self).
 func (r *Router) candidates(key uint64) []*Peer {
+	ring, peers := r.snapshot()
 	now := time.Now()
 	var out []*Peer
-	for _, m := range r.ring.Walk(key) {
+	for _, m := range ring.Walk(key) {
 		if m == r.self {
 			break
 		}
-		if p := r.peers[m]; p != nil && p.alive(now) {
+		if p := peers[m]; p != nil && p.probeAlive(now) {
 			out = append(out, p)
 		}
 	}
@@ -370,28 +506,30 @@ func (r *Router) PreferredPeer(key uint64) (string, bool) {
 // optimizes cache affinity — so batch sub-groups and subtree jobs may fail
 // over to an arbitrary peer rather than walking the ring.
 func (r *Router) ForwardAny(ctx context.Context, primary, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
-	cands := make([]*Peer, 0, len(r.peers))
-	if p := r.peers[primary]; p != nil {
+	_, peers := r.snapshot()
+	cands := make([]*Peer, 0, len(peers))
+	if p := peers[primary]; p != nil {
 		cands = append(cands, p)
 	}
-	ids := make([]string, 0, len(r.peers))
-	for id := range r.peers {
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
 		if id != primary {
 			ids = append(ids, id)
 		}
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		cands = append(cands, r.peers[id])
+		cands = append(cands, peers[id])
 	}
 	return r.forwardList(ctx, cands, method, path, body, hdr)
 }
 
 // AlivePeers returns the alive remote peers in id order.
 func (r *Router) AlivePeers() []*Peer {
+	_, peers := r.snapshot()
 	now := time.Now()
-	ids := make([]string, 0, len(r.peers))
-	for id, p := range r.peers {
+	ids := make([]string, 0, len(peers))
+	for id, p := range peers {
 		if p.alive(now) {
 			ids = append(ids, id)
 		}
@@ -399,7 +537,7 @@ func (r *Router) AlivePeers() []*Peer {
 	sort.Strings(ids)
 	out := make([]*Peer, len(ids))
 	for i, id := range ids {
-		out[i] = r.peers[id]
+		out[i] = peers[id]
 	}
 	return out
 }
@@ -409,12 +547,13 @@ func (r *Router) AlivePeers() []*Peer {
 func (r *Router) Client() *http.Client { return r.client }
 
 func (r *Router) forwardList(ctx context.Context, cands []*Peer, method, path string, body []byte, hdr http.Header) (*PeerResult, bool) {
-	// Deduplicate while preserving order; drop dead peers.
+	// Deduplicate while preserving order; drop dead peers. probeAlive lets
+	// one caller carry the half-open probe to an expired-window peer.
 	now := time.Now()
 	seen := make(map[*Peer]bool, len(cands))
 	var live []*Peer
 	for _, p := range cands {
-		if p == nil || seen[p] || !p.alive(now) {
+		if p == nil || seen[p] || !p.probeAlive(now) {
 			continue
 		}
 		seen[p] = true

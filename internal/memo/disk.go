@@ -59,6 +59,7 @@ type DiskStats struct {
 	Writes    int64 // records appended by the background writer
 	Dropped   int64 // writes lost to a full queue or append failure
 	ReadErrs  int64 // records dropped on read (CRC or IO failure)
+	Imported  int64 // records received via shard handoff (subset of Writes)
 }
 
 type recordRef struct {
@@ -83,7 +84,7 @@ type DiskTier struct {
 
 	end atomic.Int64 // append offset = bytes of verified log
 
-	replayed, truncated, hits, misses, writes, dropped, readErrs atomic.Int64
+	replayed, truncated, hits, misses, writes, dropped, readErrs, imported atomic.Int64
 }
 
 type diskRecord struct {
@@ -382,6 +383,7 @@ func (d *DiskTier) Stats() DiskStats {
 		Writes:    d.writes.Load(),
 		Dropped:   d.dropped.Load(),
 		ReadErrs:  d.readErrs.Load(),
+		Imported:  d.imported.Load(),
 	}
 }
 

@@ -1,0 +1,109 @@
+package memo
+
+// Shard handoff support: when cluster ownership of a fingerprint range
+// moves (a node joins, leaves, or is confirmed dead), the old owner exports
+// its records for the moved keys and the new owner imports them, so the
+// receiving node starts hot instead of recomputing a shard's worth of
+// cache. The memo layer stays cluster-agnostic: callers express "owned" as
+// a key predicate.
+
+// Export calls fn for every live record of one keyspace whose key satisfies
+// pred (checksum-verified, last write per key, order unspecified) until fn
+// returns false. Returns the number of records fn accepted. Safe on a nil
+// tier.
+func (d *DiskTier) Export(sp Space, pred func(key string) bool, fn func(key string, val []byte) bool) int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	d.Range(sp, func(key string, val []byte) bool {
+		if pred != nil && !pred(key) {
+			return true
+		}
+		n++
+		return fn(key, val)
+	})
+	return n
+}
+
+// Import appends one record received via shard handoff. Identical to Put on
+// the log, but counted separately (DiskStats.Imported) so handoff
+// effectiveness is observable apart from organic write traffic. Safe on a
+// nil tier.
+func (d *DiskTier) Import(sp Space, key string, val []byte) bool {
+	if d == nil {
+		return false
+	}
+	if !d.Put(sp, key, val) {
+		return false
+	}
+	d.imported.Add(1)
+	return true
+}
+
+// Seed inserts a completed, cacheable value into the memory tier when the
+// key is absent — the no-disk receiving side of a handoff. An existing
+// entry (completed or in flight) always wins: handoff must never clobber a
+// fresher local result or break a singleflight in progress. The entry is
+// byte-accounted like any computed result, so bounded spaces keep their
+// cap. Returns true when the value was installed. Safe on a nil Cache.
+func (c *Cache) Seed(sp Space, key string, val any) bool {
+	if c == nil {
+		return false
+	}
+	s := &c.spaces[sp]
+	sh := s.shardFor(key)
+	e := &entry{done: make(chan struct{}), val: val, ok: true}
+	close(e.done)
+	s.lock(sh)
+	if _, exists := sh.m[key]; exists {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	s.touch(e)
+	s.retain(sh, key, e)
+	// retain deletes the entry instead of accounting it when it cannot fit
+	// under the space's byte cap; report that as a declined seed.
+	s.lock(sh)
+	installed := sh.m[key] == e
+	sh.mu.Unlock()
+	return installed
+}
+
+// Range calls fn for every completed cacheable entry of one keyspace until
+// fn returns false — the exporting side of a handoff for the memory tier.
+// In-flight entries are skipped (their value does not exist yet); entries
+// completing concurrently may or may not be seen. Values are shared and
+// must be treated as immutable. Safe on a nil Cache.
+func (c *Cache) Range(sp Space, fn func(key string, val any) bool) {
+	if c == nil {
+		return
+	}
+	s := &c.spaces[sp]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lock(sh)
+		keys := make([]string, 0, len(sh.m))
+		entries := make([]*entry, 0, len(sh.m))
+		for k, e := range sh.m {
+			keys = append(keys, k)
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
+		for j, e := range entries {
+			select {
+			case <-e.done:
+			default:
+				continue // in flight
+			}
+			if !e.ok {
+				continue
+			}
+			if !fn(keys[j], e.val) {
+				return
+			}
+		}
+	}
+}

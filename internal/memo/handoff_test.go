@@ -1,0 +1,144 @@
+package memo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDiskExportFiltersByPredicate(t *testing.T) {
+	d, err := OpenDiskTier(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		d.Put(Requests, fmt.Sprintf("owned-%d", i), []byte("v"))
+		d.Put(Requests, fmt.Sprintf("other-%d", i), []byte("v"))
+	}
+	// Drain the write-behind queue so the index is populated.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = OpenDiskTier(d.dirOfPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var got []string
+	n := d.Export(Requests, func(key string) bool { return strings.HasPrefix(key, "owned-") }, func(key string, val []byte) bool {
+		got = append(got, key)
+		return true
+	})
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("export matched %d records (callback saw %d), want 10", n, len(got))
+	}
+	for _, k := range got {
+		if !strings.HasPrefix(k, "owned-") {
+			t.Fatalf("export leaked unowned key %q", k)
+		}
+	}
+	// Early stop: fn returning false halts the walk.
+	n = d.Export(Requests, nil, func(key string, val []byte) bool { return false })
+	if n != 1 {
+		t.Fatalf("early-stopped export should count 1 accepted record, got %d", n)
+	}
+}
+
+// dirOfPath recovers the tier directory from the log path (test helper).
+func (d *DiskTier) dirOfPath() string {
+	p := d.Path()
+	i := strings.LastIndexByte(p, '/')
+	return p[:i]
+}
+
+func TestDiskImportCounted(t *testing.T) {
+	d, err := OpenDiskTier(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put(Requests, "organic", []byte("a"))
+	if !d.Import(Requests, "handoff", []byte("b")) {
+		t.Fatal("import should succeed")
+	}
+	if got := d.Stats().Imported; got != 1 {
+		t.Fatalf("Imported = %d, want 1", got)
+	}
+	// The append is write-behind; poll until the background writer lands it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := d.Get(Requests, "handoff"); ok {
+			if string(v) != "b" {
+				t.Fatalf("imported record = %q, want \"b\"", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("imported record never became readable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCacheSeedAndRange(t *testing.T) {
+	c := New()
+	if !c.Seed(Requests, "k1", "v1") {
+		t.Fatal("seeding an empty slot should succeed")
+	}
+	if c.Seed(Requests, "k1", "clobber") {
+		t.Fatal("seeding over an existing entry must be refused")
+	}
+	// A seeded entry serves hits without recomputing.
+	ran := false
+	got := c.Do(Requests, "k1", func() (any, bool) { ran = true; return "computed", true })
+	if ran || got != "v1" {
+		t.Fatalf("seeded value must serve the hit: got %v ran=%v", got, ran)
+	}
+	// Seed must not break an in-flight singleflight.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan any)
+	go func() {
+		done <- c.Do(Requests, "k2", func() (any, bool) {
+			close(started)
+			<-release
+			return "slow", true
+		})
+	}()
+	<-started
+	if c.Seed(Requests, "k2", "fast") {
+		t.Fatal("seed must not replace an in-flight entry")
+	}
+	close(release)
+	if got := <-done; got != "slow" {
+		t.Fatalf("in-flight compute must win, got %v", got)
+	}
+
+	// Range sees both completed entries and no in-flight ones.
+	seen := map[string]any{}
+	c.Range(Requests, func(key string, val any) bool {
+		seen[key] = val
+		return true
+	})
+	if len(seen) != 2 || seen["k1"] != "v1" || seen["k2"] != "slow" {
+		t.Fatalf("Range saw %v", seen)
+	}
+}
+
+func TestCacheSeedRespectsBound(t *testing.T) {
+	c := New()
+	c.Bound(Requests, 1<<10)
+	big := make([]byte, 1<<20)
+	if c.Seed(Requests, "big", big) {
+		t.Fatal("an over-cap seed should be declined by retain")
+	}
+	// The entry must not be resident afterwards.
+	resident := 0
+	c.Range(Requests, func(string, any) bool { resident++; return true })
+	if resident != 0 {
+		t.Fatalf("over-cap seed leaked %d resident entries", resident)
+	}
+}

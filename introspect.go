@@ -229,6 +229,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	if cs := s.cluster; cs != nil {
 		p.Gauge("cluster.peers", int64(len(cs.router.Peers())))
 		p.Gauge("cluster.peers_alive", int64(len(cs.router.AlivePeers())))
+		p.Gauge("cluster.members", int64(len(cs.router.Members())))
 		p.Gauge("cluster.incumbents", int64(cs.board.Len()))
 	}
 	p.HistogramSeries("request_duration", "", s.reqHist.Snapshot())

@@ -230,6 +230,9 @@ func NewServer(opts ServeOptions) *Server {
 	// Cluster-internal endpoints; 404 until JoinCluster.
 	s.mux.HandleFunc("/v1/internal/incumbent", s.handleIncumbent)
 	s.mux.HandleFunc("/v1/internal/subtree", s.handleSubtree)
+	s.mux.HandleFunc("/v1/internal/join", s.handleClusterJoin)
+	s.mux.HandleFunc("/v1/internal/gossip", s.handleClusterGossip)
+	s.mux.HandleFunc("/v1/internal/handoff", s.handleHandoff)
 	return s
 }
 
@@ -570,6 +573,31 @@ func (wi *warmIndex) lookup(canon string) map[string]int {
 		}
 	}
 	return best
+}
+
+// rangeSeeds calls fn for every recorded seed until fn returns false — the
+// exporting side of a shard handoff. The assign maps are shared and must
+// not be mutated. No ownership filter here: the handoff caller applies its
+// own moved-range predicate, which is about the *new* ring, not ours.
+func (wi *warmIndex) rangeSeeds(fn func(canon string, assign map[string]int) bool) {
+	if wi == nil {
+		return
+	}
+	wi.mu.Lock()
+	canons := append([]string(nil), wi.order...)
+	assigns := make([]map[string]int, len(canons))
+	for i, c := range canons {
+		assigns[i] = wi.seeds[c]
+	}
+	wi.mu.Unlock()
+	for i := range canons {
+		if assigns[i] == nil {
+			continue
+		}
+		if !fn(canons[i], assigns[i]) {
+			return
+		}
+	}
 }
 
 func commonPrefixLen(a, b string) int {
